@@ -1,0 +1,90 @@
+"""Figure 11 — time breakdown of model construction (I2-trace).
+
+Three systems over the same update stream:
+
+* APKeep* — per-update processing (its per-update change computation is the
+  Map-phase analogue; applying moves is its Apply);
+* Flash (per-update mode) — block size 1, no aggregation;
+* Flash — full MR2 with Reduce I/II.
+
+The paper's finding: aggregation adds a small Reduce cost but slashes both
+the Map (computing atomic overwrites) and Apply (cross product) phases.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.apkeep import APKeepVerifier
+from repro.core.model_manager import ModelManager
+
+from .harness import save_json
+from .settings import i2_trace
+
+
+def _run_flash(setting, updates, per_update: bool):
+    manager = ModelManager(
+        setting.topology.switches(),
+        setting.layout,
+        block_threshold=1 if per_update else None,
+        aggregate=not per_update,
+    )
+    manager.submit(updates)
+    manager.flush()
+    b = manager.breakdown
+    return {
+        "map_seconds": b.map_seconds,
+        "reduce_seconds": b.reduce_seconds,
+        "apply_seconds": b.apply_seconds,
+        "atomic_overwrites": b.atomic_overwrites,
+        "aggregated_overwrites": b.aggregated_overwrites,
+    }
+
+
+def _run_apkeep(setting, updates):
+    verifier = APKeepVerifier(setting.topology.switches(), setting.layout)
+    start = time.perf_counter()
+    verifier.process_updates(updates)
+    total = time.perf_counter() - start
+    # APKeep* has no reduce phase; its total splits between change
+    # computation and EC patching, which we report as one bar pair.
+    return {"total_seconds": total}
+
+
+def bench_fig11_breakdown(benchmark):
+    setting = i2_trace()
+    # Figure 11 uses the insertion storm (model construction).
+    updates = setting.storm_updates()
+    results = {}
+
+    def run():
+        results["apkeep"] = _run_apkeep(setting, updates)
+        results["flash_per_update"] = _run_flash(setting, updates, per_update=True)
+        results["flash"] = _run_flash(setting, updates, per_update=False)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    f = results["flash"]
+    p = results["flash_per_update"]
+    print("\n=== Figure 11 — model construction breakdown (I2-trace) ===")
+    print(f"{'phase':<28} {'Flash(per-update)':>18} {'Flash':>10}")
+    for phase in ("map_seconds", "reduce_seconds", "apply_seconds"):
+        print(f"{phase:<28} {p[phase]:>18.4f} {f[phase]:>10.4f}")
+    print(
+        f"{'atomic overwrites':<28} {p['atomic_overwrites']:>18} "
+        f"{f['atomic_overwrites']:>10}"
+    )
+    print(
+        f"{'aggregated overwrites':<28} {p['aggregated_overwrites']:>18} "
+        f"{f['aggregated_overwrites']:>10}"
+    )
+    print(f"APKeep* total: {results['apkeep']['total_seconds']:.4f}s")
+    save_json("fig11_breakdown", results)
+
+    # Paper shape: aggregation shrinks the applied overwrite count hugely,
+    # and full Flash applies faster than per-update mode.
+    assert f["aggregated_overwrites"] < f["atomic_overwrites"]
+    assert f["apply_seconds"] < p["apply_seconds"]
+    assert f["map_seconds"] <= p["map_seconds"] * 1.5

@@ -1,0 +1,183 @@
+"""Figure 12 / Figure 18 — DGQ vs MT for all-pair ToR-to-ToR reachability.
+
+The LNet-apsp setting: per-rack verification, all ToRs as sources; each
+switch's rule insertions arrive as one batch and the reachability check
+runs after every batch, two ways:
+
+* **DGQ** — the decremental verification graph: prune the newly
+  synchronised device's edges, repair the reachability forest, answer in
+  near-constant time;
+* **MT** — model traversal (§5.4): depth-first traversal of the *inverse
+  model's* forwarding edges from every source ToR.
+
+Figure 12 is the distribution of per-check times; Figure 18 is the series
+over processed updates — MT grows as the model fills with edges, DGQ does
+not.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.ce2d.reachability import DgqReachability
+from repro.ce2d.verification_graph import VerificationGraph
+from repro.core.model_manager import ModelManager
+from repro.dataplane.rule import next_hops_of
+from repro.dataplane.update import insert
+from repro.spec.ast import SelectorContext
+from repro.spec.dfa import compile_path_set
+from repro.spec.parser import parse_path_set
+
+from .harness import save_json
+
+
+def _percentile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def model_traversal_reachable(manager, topo, sources, rack, vec) -> bool:
+    """MT: full depth-first traversal of the model from each source ToR.
+
+    Mirrors §5.4's baseline: compute each source's reachable set over the
+    model's forwarding edges (no early exit), then test the destination —
+    O(|V|·(|V|+|E|)) per check, growing as rules fill the model in.
+    """
+    reached_any = False
+    for src in sources:
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            action = manager.model.action_of(vec, node)
+            if action is None:
+                continue
+            for hop in next_hops_of(action):
+                if hop not in seen:
+                    seen.add(hop)
+                    if topo.has_device(hop) and not topo.device(hop).is_external:
+                        stack.append(hop)
+        if rack in seen:
+            reached_any = True
+    return reached_any
+
+
+def run_reachability_experiment():
+    # A dedicated 8-pod fabric: 64 racks x 84 switches = 5,376 per-batch
+    # checks, matching the paper's "5,376 verification graphs in total".
+    from repro.fibgen.shortest_path import std_fib
+    from repro.headerspace.fields import dst_only_layout
+    from repro.network.generators import fabric
+
+    topo = fabric(pods=8, tors_per_pod=8, fabrics_per_pod=2, spines_per_plane=2)
+    layout = dst_only_layout(10)
+    rules_per_device = std_fib(topo, layout)
+    tors = topo.select(role="tor")
+    racks = topo.externals()
+
+    manager = ModelManager(topo.switches(), layout)
+    automaton = compile_path_set(parse_path_set(". .* >"))
+    graphs: Dict[int, VerificationGraph] = {}
+    dgq: Dict[int, DgqReachability] = {}
+    for rack in racks:
+        context = SelectorContext(frozenset([rack]))
+        graph = VerificationGraph(topo, automaton, tors, context)
+        graphs[rack] = graph
+        dgq[rack] = DgqReachability(graph)
+
+    dgq_times: List[float] = []
+    mt_times: List[float] = []
+    series: List[Dict[str, float]] = []
+    processed = 0
+    final_agreement = True
+
+    devices = list(rules_per_device)
+    for device in devices:
+        rules = rules_per_device[device]
+        manager.submit([insert(device, r) for r in rules])
+        manager.flush()
+        processed += len(rules)
+        for rack in racks:
+            value, _length = topo.device(rack).label("prefixes")[0]
+            bits = dict(layout.bits_of("dst", value))
+            vec = manager.model.vector_for(bits)
+            action = manager.model.action_of(vec, device)
+
+            start = time.perf_counter()
+            removed = graphs[rack].prune_device(device, action)
+            dgq[rack].delete_edges(removed)
+            dgq_ok = dgq[rack].accept_reachable()
+            dgq_times.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            mt_ok = model_traversal_reachable(manager, topo, tors, rack, vec)
+            mt_times.append(time.perf_counter() - start)
+        series.append(
+            {
+                "updates": processed,
+                "dgq_ms": 1e3 * sum(dgq_times[-len(racks):]) / len(racks),
+                "mt_ms": 1e3 * sum(mt_times[-len(racks):]) / len(racks),
+            }
+        )
+    # After full synchronisation both methods must agree per rack.
+    for rack in racks:
+        value, _length = topo.device(rack).label("prefixes")[0]
+        bits = dict(layout.bits_of("dst", value))
+        vec = manager.model.vector_for(bits)
+        if dgq[rack].accept_reachable() != model_traversal_reachable(
+            manager, topo, tors, rack, vec
+        ):
+            final_agreement = False
+    return dgq_times, mt_times, series, final_agreement
+
+
+def bench_fig12_dgq_vs_mt(benchmark):
+    result = {}
+
+    def run():
+        result["value"] = run_reachability_experiment()
+        return result["value"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    dgq_times, mt_times, series, final_agreement = result["value"]
+
+    def stats(values):
+        return {
+            "median_ms": 1e3 * _percentile(values, 0.5),
+            "mean_ms": 1e3 * sum(values) / len(values),
+            "p99_ms": 1e3 * _percentile(values, 0.99),
+            "max_ms": 1e3 * max(values),
+        }
+
+    dgq_stats, mt_stats = stats(dgq_times), stats(mt_times)
+    print("\n=== Figure 12 — reachability check time (DGQ vs MT) ===")
+    print(f"{'':<8} {'median':>9} {'mean':>9} {'p99':>9} {'max':>9}  (ms)")
+    for name, s in (("DGQ", dgq_stats), ("MT", mt_stats)):
+        print(
+            f"{name:<8} {s['median_ms']:>9.3f} {s['mean_ms']:>9.3f} "
+            f"{s['p99_ms']:>9.3f} {s['max_ms']:>9.3f}"
+        )
+    speedup = mt_stats["p99_ms"] / max(dgq_stats["p99_ms"], 1e-9)
+    print(f"p99 speedup DGQ over MT: {speedup:.1f}x over {len(dgq_times)} checks")
+
+    print("\n=== Figure 18 — check time vs processed updates ===")
+    for point in series[:: max(1, len(series) // 10)]:
+        print(
+            f"updates={point['updates']:>7}  DGQ={point['dgq_ms']:.3f}ms  "
+            f"MT={point['mt_ms']:.3f}ms"
+        )
+    save_json(
+        "fig12_fig18_dgq",
+        {"dgq": dgq_stats, "mt": mt_stats, "series": series},
+    )
+    assert final_agreement, "DGQ and MT disagree on the converged state"
+    # Paper shape: DGQ's tail beats MT's substantially.
+    assert dgq_stats["p99_ms"] < mt_stats["p99_ms"]
+    # Figure 18 shape: MT per-check time grows as the model fills up.
+    early = sum(p["mt_ms"] for p in series[:3]) / 3
+    late = sum(p["mt_ms"] for p in series[-3:]) / 3
+    assert late > early

@@ -1,0 +1,68 @@
+"""Figure 15 (Appendix A) — update storms in network planning.
+
+Connecting a new pod to a K-ary fat-tree data center with P prefixes per
+pod: the table reports |R| (total rules after the change) and |ΔR|
+(modified rules) per (K, P), and we additionally verify the resulting storm
+with Flash — the offline validation use case that motivates Fast IMT.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model_manager import ModelManager
+from repro.dataplane.update import insert
+from repro.fibgen.planning import pod_addition_scenario
+
+from .harness import save_json
+
+# The paper sweeps K ∈ {4, 8, 16, 32}; pure Python covers the lower rows.
+CASES = [(4, 2), (4, 4), (6, 4), (8, 4)]
+
+
+def bench_fig15_planning_storm(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for k, p in CASES:
+            scenario = pod_addition_scenario(k=k, prefixes_per_pod=p)
+            manager = ModelManager(
+                scenario.topology.switches(), scenario.layout
+            )
+            manager.submit(
+                insert(d, r)
+                for d, rules in scenario.before.items()
+                for r in rules
+            )
+            manager.flush()
+            manager.submit(scenario.updates)
+            manager.flush()
+            rows.append(
+                {
+                    "K": k,
+                    "P": p,
+                    "total_rules": scenario.total_rules_after,
+                    "delta_rules": scenario.num_updates,
+                    "ecs_after": manager.num_ecs(),
+                    "model_seconds": manager.breakdown.total_seconds,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Figure 15 — pod-addition planning storms ===")
+    print(f"{'K':>4} {'P':>4} {'|R|':>9} {'|ΔR|':>8} {'ECs':>6} {'model(s)':>9}")
+    for r in rows:
+        print(
+            f"{r['K']:>4} {r['P']:>4} {r['total_rules']:>9} "
+            f"{r['delta_rules']:>8} {r['ecs_after']:>6} "
+            f"{r['model_seconds']:>9.3f}"
+        )
+    save_json("fig15_planning", rows)
+
+    # Shape: |R| and |ΔR| grow with K (the paper's table rows).
+    assert rows[-1]["total_rules"] > rows[0]["total_rules"]
+    assert rows[-1]["delta_rules"] > rows[0]["delta_rules"]
+    # And the storm is absorbed as one block by Fast IMT.
+    assert all(r["model_seconds"] < 60 for r in rows)

@@ -1,0 +1,68 @@
+"""Figure 7 — effect of the block size threshold (BST) on update speed.
+
+For each setting we sweep BST/FIB-scale ratios and report the normalised
+update speed T_baseline / T_x, where the baseline processes all updates as
+one block (BST = ∞).  The paper's findings: speed rises with BST and most
+settings reach ≥60% of baseline speed at x ≈ 0.04.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .harness import run_flash, save_json
+from .settings import (
+    airtel_trace,
+    i2_trace,
+    lnet_apsp,
+    lnet_ecmp,
+    lnet_smr,
+    stanford_trace,
+)
+
+RATIOS = [0.005, 0.01, 0.02, 0.04, 0.1, 0.25, 0.5, 1.0]
+
+_SETTINGS = [lnet_apsp, lnet_ecmp, lnet_smr, airtel_trace, stanford_trace, i2_trace]
+
+
+@pytest.mark.parametrize("maker", _SETTINGS, ids=lambda m: m.__name__)
+def bench_fig7_block_size_threshold(benchmark, maker):
+    setting = maker()
+    updates = setting.storm_updates()
+    fib_scale = setting.fib_scale
+    series = {}
+
+    def run():
+        series.clear()
+        baseline = run_flash(setting, updates, block_threshold=None)
+        series["baseline_seconds"] = baseline.seconds
+        points = []
+        for ratio in RATIOS:
+            threshold = max(1, int(ratio * fib_scale))
+            result = run_flash(setting, updates, block_threshold=threshold)
+            speed = baseline.seconds / result.seconds if result.seconds else 0.0
+            points.append(
+                {
+                    "ratio": ratio,
+                    "threshold": threshold,
+                    "seconds": result.seconds,
+                    "normalized_speed": speed,
+                }
+            )
+        series["points"] = points
+        return series
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Figure 7 — {setting.name} (FIB scale {fib_scale}) ===")
+    print(f"{'BST/FIB':>9} {'BST':>7} {'time(s)':>9} {'norm speed':>11}")
+    for p in series["points"]:
+        print(
+            f"{p['ratio']:>9.3f} {p['threshold']:>7} "
+            f"{p['seconds']:>9.3f} {p['normalized_speed']:>11.2f}"
+        )
+    save_json(f"fig7_{setting.name}", series)
+
+    speeds = [p["normalized_speed"] for p in series["points"]]
+    # Monotone-ish trend: the largest block is at least as fast as the
+    # smallest threshold (per-update-ish) run.
+    assert speeds[-1] >= speeds[0] * 0.5

@@ -1,0 +1,81 @@
+"""§7 extension — parallel subspace verification.
+
+The paper runs one subspace verifier per vCPU (§5.5's 112-vCPU deployment);
+this bench reproduces the deployment model in miniature: the same storm
+verified by the same per-subspace verifiers, sequentially vs across a
+process pool.  Results must agree exactly; the wall-clock ratio is reported
+(it favors the pool only once per-subspace work exceeds process start-up,
+i.e. at medium/large scales).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.parallel import run_partitioned
+
+from .harness import save_json
+from .settings import lnet_ecmp
+
+PROCESSES = int(os.environ.get("REPRO_BENCH_PROCESSES", "4"))
+
+
+def bench_parallel_subspaces(benchmark):
+    setting = lnet_ecmp()
+    updates = setting.storm_updates()
+    result = {}
+
+    def run():
+        sequential, wall_seq = run_partitioned(
+            setting.topology.switches(),
+            setting.layout,
+            setting.partition,
+            updates,
+            processes=None,
+        )
+        parallel, wall_par = run_partitioned(
+            setting.topology.switches(),
+            setting.layout,
+            setting.partition,
+            updates,
+            processes=PROCESSES,
+        )
+        result.update(
+            {
+                "sequential_wall": wall_seq,
+                "parallel_wall": wall_par,
+                "workers": PROCESSES,
+                "subspaces": [
+                    {
+                        "name": s.subspace,
+                        "seq_seconds": s.seconds,
+                        "par_seconds": p.seconds,
+                        "ecs": s.ecs,
+                    }
+                    for s, p in zip(sequential, parallel)
+                ],
+                "agree": all(
+                    s.ecs == p.ecs and s.predicate_ops == p.predicate_ops
+                    for s, p in zip(sequential, parallel)
+                ),
+            }
+        )
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== §7 — parallel subspace verification ===")
+    print(
+        f"sequential {result['sequential_wall']:.3f}s vs "
+        f"{result['workers']} workers {result['parallel_wall']:.3f}s "
+        f"(speedup {result['sequential_wall'] / result['parallel_wall']:.2f}x; "
+        "start-up dominates at small scale)"
+    )
+    for row in result["subspaces"]:
+        print(
+            f"  {row['name']:<8} seq {row['seq_seconds']:.3f}s  "
+            f"par {row['par_seconds']:.3f}s  ECs {row['ecs']}"
+        )
+    save_json("parallel_subspaces", result)
+    assert result["agree"], "parallel and sequential verifiers must agree"

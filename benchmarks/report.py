@@ -1,0 +1,113 @@
+"""Assemble a consolidated report from benchmarks/results/*.json.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python -m benchmarks.report
+
+Prints one summary per experiment plus the headline paper-shape checks,
+and exits non-zero if any expected result file is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+EXPECTED = [
+    "table3_LNet-apsp", "table3_LNet-ecmp", "table3_LNet-smr",
+    "table3_Airtel-trace", "table3_Stanford-trace", "table3_I2-trace",
+    "fig6_LNet-ecmp", "fig6_LNet-smr",
+    "fig8_timeline", "fig9_cdf", "fig10_dampened",
+    "fig11_breakdown", "fig12_fig18_dgq", "fig14_storm_cdf",
+    "fig15_planning", "cost_model",
+]
+
+
+def load(name: str) -> Optional[object]:
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fmt_rows(rows: List[Dict]) -> str:
+    parts = []
+    for r in rows:
+        time = f">{r['seconds']:.0f}s" if r["timed_out"] else f"{r['seconds']:.2f}s"
+        parts.append(f"{r['system']}={time}/{r['predicate_ops']}ops")
+    return "  ".join(parts)
+
+
+def main() -> int:
+    missing = [name for name in EXPECTED if load(name) is None]
+    print("=" * 72)
+    print("Flash reproduction — consolidated benchmark report")
+    print("=" * 72)
+
+    print("\n## Table 3 / Figure 6 (time / #ops)")
+    for name in EXPECTED:
+        if not name.startswith(("table3", "fig6")):
+            continue
+        rows = load(name)
+        if rows:
+            print(f"  {name:<24} {fmt_rows(rows)}")
+
+    fig8 = load("fig8_timeline")
+    if fig8:
+        print("\n## Figure 8 (consistency)")
+        print(
+            f"  PUV transient loops: {len(fig8['puv_violations'])}, "
+            f"BUV: {len(fig8['buv_violations'])}, "
+            f"CE2D: {len(fig8['ce2d_violations'])} (must be 0)"
+        )
+
+    fig9 = load("fig9_cdf")
+    if fig9:
+        print("\n## Figure 9 (early detection under long tails)")
+        for key, label in (("openr", "I2-OpenR/1buggy"), ("trace", "I2-trace")):
+            s = fig9[key]
+            print(
+                f"  {label:<18} {s['early_detected']}/{s['trials']} early "
+                f"(median {s['median_early']})"
+            )
+
+    fig10 = load("fig10_dampened")
+    if fig10:
+        series = ", ".join(
+            f"D={d}:{row['fraction']:.2f}" for d, row in fig10.items()
+        )
+        print(f"\n## Figure 10 (dampened switches)\n  {series}")
+
+    fig12 = load("fig12_fig18_dgq")
+    if fig12:
+        print("\n## Figures 12/18 (DGQ vs MT, ms)")
+        print(
+            f"  DGQ p99 {fig12['dgq']['p99_ms']:.3f} vs "
+            f"MT p99 {fig12['mt']['p99_ms']:.3f} "
+            f"({fig12['mt']['p99_ms'] / fig12['dgq']['p99_ms']:.1f}x)"
+        )
+
+    cost = load("cost_model")
+    if cost:
+        paper = cost["paper-extrapolated"]
+        print("\n## §5.5 cost model")
+        print(
+            f"  paper-extrapolated: {paper['instances']} instances, "
+            f"${paper['dedicated_usd_per_hour']:.2f}/h"
+        )
+
+    if missing:
+        print(f"\nMISSING results ({len(missing)}): {missing}")
+        print("run: python -m pytest benchmarks/ --benchmark-only")
+        return 1
+    print("\nall expected results present.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

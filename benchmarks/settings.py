@@ -1,0 +1,164 @@
+"""Scaled evaluation settings mirroring Table 2.
+
+Every setting of the paper's Table 2 is rebuilt here at laptop scale.  The
+``REPRO_SCALE`` environment variable selects the scale tier:
+
+* ``small``  (default) — whole benchmark suite in minutes;
+* ``medium`` — closer to the paper's proportions, tens of minutes;
+* ``large``  — stress tier.
+
+The *shape* of every workload matches Table 2: topology family, FIB pattern
+(apsp / source-match ECMP / suffix-match routing / trace prefixes) and the
+"insert each rule in a sequence and then delete it in the same order"
+update generation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.subspace import SubspacePartition
+from repro.dataplane.rule import Rule
+from repro.dataplane.trace import insert_then_delete, inserts_only
+from repro.dataplane.update import RuleUpdate
+from repro.fibgen.addressing import assign_rack_prefixes, rack_destinations
+from repro.fibgen.ecmp import std_fib_ecmp
+from repro.fibgen.shortest_path import std_fib
+from repro.fibgen.suffix import std_fib_suffix
+from repro.headerspace.fields import (
+    HeaderLayout,
+    dst_only_layout,
+    dst_src_layout,
+)
+from repro.network.generators import airtel, fabric, internet2, stanford
+from repro.network.topology import Topology
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+_FABRIC_DIMS = {
+    # pods, tors_per_pod, fabrics_per_pod, spines_per_plane
+    "small": (4, 4, 2, 2),
+    "medium": (8, 8, 4, 2),
+    "large": (12, 12, 4, 4),
+}
+
+_DST_WIDTH = {"small": 10, "medium": 12, "large": 14}
+_SRC_WIDTH = {"small": 4, "medium": 6, "large": 6}
+
+
+@dataclass
+class Setting:
+    """One evaluation setting: topology + FIB + update trace."""
+
+    name: str
+    topology: Topology
+    layout: HeaderLayout
+    rules_per_device: Dict[int, List[Rule]]
+    partition: Optional[SubspacePartition] = None
+
+    @property
+    def fib_scale(self) -> int:
+        return sum(len(r) for r in self.rules_per_device.values())
+
+    def storm_updates(self) -> List[RuleUpdate]:
+        """Figure 6 style: all insertions as one burst."""
+        return inserts_only(self.rules_per_device)
+
+    def trace_updates(self) -> List[RuleUpdate]:
+        """Table 2 style: insert each rule in sequence, then delete."""
+        return insert_then_delete(self.rules_per_device)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: |V|={self.topology.num_devices} "
+            f"|E|={len(self.topology.directed_edges())} "
+            f"rules={self.fib_scale}"
+        )
+
+
+def _lnet_topology() -> Topology:
+    pods, tors, fabs, spines = _FABRIC_DIMS[SCALE]
+    return fabric(
+        pods=pods,
+        tors_per_pod=tors,
+        fabrics_per_pod=fabs,
+        spines_per_plane=spines,
+        name="LNet",
+    )
+
+
+def _pod_partition(topology: Topology, layout: HeaderLayout) -> SubspacePartition:
+    """One subspace per pod: the per-pod dst-prefix blocks of §5.5."""
+    pods = sorted(
+        {d.label("pod") for d in topology.devices() if d.label("pod") is not None}
+    )
+    racks = rack_destinations(topology)
+    width = layout.field("dst").width
+    plen = max(1, (len(racks) - 1).bit_length())
+    racks_per_pod = len(racks) // len(pods)
+    # Pod p owns racks [p*rpp, (p+1)*rpp): its block starts at rack p*rpp
+    # and keeps log2(racks_per_pod) free bits below the pod bits.
+    block_len = plen - max(0, (racks_per_pod - 1).bit_length())
+    prefixes = [
+        ((p * racks_per_pod) << (width - plen), block_len) for p in pods
+    ]
+    return SubspacePartition.dst_prefix_partition(
+        layout, prefixes, names=[f"pod{p}" for p in pods]
+    )
+
+
+def lnet_apsp() -> Setting:
+    topo = _lnet_topology()
+    layout = dst_only_layout(_DST_WIDTH[SCALE])
+    rules = std_fib(topo, layout)
+    return Setting("LNet-apsp", topo, layout, rules, _pod_partition(topo, layout))
+
+
+def lnet_ecmp() -> Setting:
+    topo = _lnet_topology()
+    layout = dst_src_layout(_DST_WIDTH[SCALE], _SRC_WIDTH[SCALE])
+    rules = std_fib_ecmp(topo, layout, src_buckets=4)
+    return Setting("LNet-ecmp", topo, layout, rules, _pod_partition(topo, layout))
+
+
+def lnet_smr() -> Setting:
+    topo = _lnet_topology()
+    layout = dst_only_layout(_DST_WIDTH[SCALE])
+    rules = std_fib_suffix(topo, layout, suffix_bits=2)
+    return Setting("LNet-smr", topo, layout, rules, _pod_partition(topo, layout))
+
+
+def _loopback_setting(name: str, topo: Topology, width: int) -> Setting:
+    """Trace settings: every switch owns a prefix; apsp FIB toward each."""
+    layout = dst_only_layout(width)
+    for switch in topo.switches():
+        host = topo.add_external(f"h_{topo.name_of(switch)}")
+        topo.add_link(switch, host)
+    rules = std_fib(topo, layout)
+    return Setting(name, topo, layout, rules)
+
+
+def airtel_trace() -> Setting:
+    n = {"small": 24, "medium": 68, "large": 68}[SCALE]
+    links = {"small": 44, "medium": 130, "large": 130}[SCALE]
+    return _loopback_setting("Airtel-trace", airtel(n=n, links=links), 10)
+
+
+def stanford_trace() -> Setting:
+    return _loopback_setting("Stanford-trace", stanford(), 8)
+
+
+def i2_trace() -> Setting:
+    return _loopback_setting("I2-trace", internet2(), 8)
+
+
+ALL_SETTINGS: Dict[str, Callable[[], Setting]] = {
+    "LNet-apsp": lnet_apsp,
+    "LNet-ecmp": lnet_ecmp,
+    "LNet-smr": lnet_smr,
+    "Airtel-trace": airtel_trace,
+    "Stanford-trace": stanford_trace,
+    "I2-trace": i2_trace,
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Vector-protocol epochs via causal convergence detection (Appendix D.1).
+
+Sync-state protocols hash their shared state into an epoch tag; BGP has no
+shared state, so the paper's Appendix D.1 appends *causal* metadata to each
+FIB update (which message caused it, which messages it emitted) and detects
+convergence centrally.  This example:
+
+1. runs a small BGP network announcing then withdrawing a prefix,
+2. shows the detector tracking each event's outstanding message wave,
+3. verifies each converged event's consistent data plane with Flash.
+
+Run:  python examples/bgp_convergence.py
+"""
+
+from repro import Flash, Verdict, dst_only_layout
+from repro.ce2d.causal import CausalConvergenceDetector
+from repro.network.generators import internet2
+from repro.routing.bgp import BgpSimulation
+
+PREFIX = (0x40, 4)
+
+
+def main():
+    topo = internet2()
+    layout = dst_only_layout(8)
+    sim = BgpSimulation(topo, layout)
+    flash = Flash(topo, layout, check_loops=True)
+
+    verdicts = {}
+
+    def on_converged(state):
+        print(
+            f"event {state.root}: converged after {state.records} causal "
+            f"records from {len(state.devices)} routers "
+            f"({len(state.updates)} FIB updates)"
+        )
+        per_device = {}
+        for u in state.updates:
+            per_device.setdefault(u.device, []).append(u)
+        reports = []
+        for device in topo.switches():
+            reports = flash.receive(
+                device, f"bgp-{state.root}", per_device.get(device, [])
+            )
+        verdicts[state.root] = reports[0].verdict
+
+    detector = CausalConvergenceDetector(on_converged=on_converged)
+    sim.add_collector(detector.observe)
+
+    owner = topo.id_of("seat")
+    print(f"announcing {PREFIX[0]:#x}/{PREFIX[1]} at seat ...")
+    announce_event = sim.announce_prefix(owner, PREFIX)
+    sim.run()
+    print(f"  pending events while running: {detector.pending_events()}")
+
+    print("withdrawing the prefix ...")
+    withdraw_event = sim.withdraw_prefix(owner, PREFIX)
+    sim.run()
+
+    assert detector.is_converged(announce_event)
+    assert detector.is_converged(withdraw_event)
+    print(f"\nverdicts per converged event: "
+          f"{ {e: v.value for e, v in verdicts.items()} }")
+    assert all(v is Verdict.SATISFIED for v in verdicts.values())
+    print("both converged BGP states verified loop-free — D.1's consistent "
+          "model construction without epoch tags.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The Figure-2 HTTP policy on a multi-field data plane.
+
+Reproduces the paper's running example: a 3-switch network in front of
+subnet A, where operators add a policy that incoming HTTP traffic to
+subnet A must take the path S3 → S2 → S1.  The example shows:
+
+* five-tuple matches compiled to BDD predicates;
+* the inverse model before and after the policy block (the Fast IMT
+  "cross product" of Figure 2), including the MR2 aggregation at work;
+* cover and waypoint requirements over packet subspaces.
+
+Run:  python examples/waypoint_policy.py
+"""
+
+from repro import Flash, Match, Rule, Verdict, insert, requirement
+from repro.core.model_manager import ModelManager
+from repro.headerspace.fields import five_tuple_layout
+from repro.headerspace.match import Pattern
+from repro.network.generators import three_node_example
+
+HTTP_PORT = 80
+
+
+def main():
+    topo = three_node_example()
+    layout = five_tuple_layout(8)
+    s1, s2, s3 = (topo.id_of(n) for n in ("S1", "S2", "S3"))
+    subnet_a, gateway = topo.id_of("A"), topo.id_of("GW")
+    topo.device(subnet_a).labels["prefixes"] = [(0x10, 4), (0x20, 4)]
+
+    dport = layout.field("dport").width
+
+    def dst_prefix(value, length):
+        return Pattern.prefix(value, length, layout.field("dst").width)
+
+    # Initial data plane (left side of Figure 2).
+    initial = [
+        insert(s1, Rule(2, Match({"dst": dst_prefix(0x10, 4)}), subnet_a)),
+        insert(s1, Rule(1, Match({"dst": dst_prefix(0x20, 4)}), subnet_a)),
+        insert(s1, Rule(0, Match({}), s3)),
+        insert(s2, Rule(2, Match({"dst": dst_prefix(0x10, 4)}), s1)),
+        insert(s2, Rule(1, Match({"dst": dst_prefix(0x20, 4)}), s1)),
+        insert(s2, Rule(0, Match({}), s3)),
+        insert(s3, Rule(0, Match({}), gateway)),
+    ]
+
+    manager = ModelManager(topo.switches(), layout)
+    manager.submit(initial)
+    manager.flush()
+    print(f"initial inverse model: {manager.num_ecs()} equivalence classes")
+    for pred, vec in manager.model.entries():
+        actions = {
+            topo.name_of(d): manager.model.action_of(vec, d)
+            for d in topo.switches()
+        }
+        print(f"  |EC| = {pred.sat_count():>6} headers  actions = {actions}")
+
+    # The policy event (right side of Figure 2): HTTP to the two subnets
+    # enters at S3 and takes S3 → S2 → S1 → A.
+    http = Pattern.exact(HTTP_PORT, dport)
+    policy = [
+        insert(s1, Rule(3, Match({"dst": dst_prefix(0x10, 4), "dport": http}), subnet_a)),
+        insert(s1, Rule(3, Match({"dst": dst_prefix(0x20, 4), "dport": http}), subnet_a)),
+        insert(s2, Rule(3, Match({"dst": dst_prefix(0x10, 4), "dport": http}), s1)),
+        insert(s2, Rule(3, Match({"dst": dst_prefix(0x20, 4), "dport": http}), s1)),
+        insert(s3, Rule(3, Match({"dst": dst_prefix(0x10, 4), "dport": http}), s2)),
+        insert(s3, Rule(3, Match({"dst": dst_prefix(0x20, 4), "dport": http}), s2)),
+    ]
+    manager.submit(policy)
+    manager.flush()
+    b = manager.breakdown
+    print(f"\npolicy block of {len(policy)} native updates decomposed into "
+          f"{b.atomic_overwrites} atomic overwrites, aggregated to "
+          f"{b.aggregated_overwrites} (MR2's Reduce I/II at work)")
+    print(f"final inverse model: {manager.num_ecs()} equivalence classes")
+
+    # Verify the waypoint with the requirement language on a fresh Flash.
+    http_space = Match({"dst": dst_prefix(0x10, 4), "dport": http})
+    via_s2 = requirement(
+        "http-via-S2", topo, layout, http_space, ["S3"], "S3 S2 S1 .*"
+    )
+    flash = Flash(topo, layout, requirements=[via_s2], check_loops=True)
+    per_device = {}
+    for u in initial + policy:
+        per_device.setdefault(u.device, []).append(u)
+    reports = []
+    for device, updates in per_device.items():
+        reports = flash.receive(device, "policy-epoch", updates)
+    verdicts = {getattr(r, "requirement", "loops"): r.verdict for r in reports}
+    print(f"\nverification verdicts: "
+          f"{ {k: v.value for k, v in verdicts.items()} }")
+    assert verdicts["http-via-S2"] is Verdict.SATISFIED
+    print("the HTTP policy path S3 → S2 → S1 is consistently satisfied.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Flash: fast, consistent data plane verification — SIGCOMM 2022 reproduction.
+
+Public API tour:
+
+* :class:`repro.Flash` — the end-to-end system (Figure 1);
+* :mod:`repro.core` — Fast IMT: inverse models, Algorithm 1, MR2, PAT;
+* :mod:`repro.ce2d` — epochs, dispatcher, verification graphs, Alg. 2/3;
+* :mod:`repro.spec` — the requirement language of Appendix B;
+* :mod:`repro.baselines` — Delta-net* and APKeep* reimplementations;
+* :mod:`repro.network` / :mod:`repro.fibgen` / :mod:`repro.routing` —
+  topologies, FIB patterns and the OpenR-like routing simulator.
+"""
+
+from .analysis import (
+    find_blackholes,
+    reachability_matrix,
+    trace_header,
+)
+from .bdd import Predicate, PredicateEngine
+from .datasets import DatasetBundle, load_bundle, save_bundle
+from .ce2d import CE2DDispatcher, SubspaceVerifier, Verdict
+from .core import ModelManager, SubspacePartition
+from .dataplane import (
+    DROP,
+    FibSnapshot,
+    FibTable,
+    Rule,
+    RuleUpdate,
+    UpdateBlock,
+    delete,
+    insert,
+)
+from .flash import EpochGroupVerifier, Flash
+from .headerspace import HeaderLayout, Match, Pattern, dst_only_layout, dst_src_layout
+from .network import Topology, fabric, fat_tree, internet2
+from .routing import OpenRSimulation
+from .spec import Multiplicity, Requirement, requirement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "find_blackholes",
+    "reachability_matrix",
+    "trace_header",
+    "DatasetBundle",
+    "load_bundle",
+    "save_bundle",
+    "Predicate",
+    "PredicateEngine",
+    "CE2DDispatcher",
+    "SubspaceVerifier",
+    "Verdict",
+    "ModelManager",
+    "SubspacePartition",
+    "DROP",
+    "FibSnapshot",
+    "FibTable",
+    "Rule",
+    "RuleUpdate",
+    "UpdateBlock",
+    "delete",
+    "insert",
+    "EpochGroupVerifier",
+    "Flash",
+    "HeaderLayout",
+    "Match",
+    "Pattern",
+    "dst_only_layout",
+    "dst_src_layout",
+    "Topology",
+    "fabric",
+    "fat_tree",
+    "internet2",
+    "OpenRSimulation",
+    "Multiplicity",
+    "Requirement",
+    "requirement",
+    "__version__",
+]

@@ -1,0 +1,224 @@
+"""Operator-facing queries over a verified data plane.
+
+The inverse model is "an efficient data structure for use cases such that
+given the forwarding behavior, find the header spaces" (§3.1).  This module
+packages the queries operators actually ask on top of a
+:class:`~repro.core.model_manager.ModelManager`:
+
+* :func:`trace_header` — the hop-by-hop path of one concrete packet;
+* :func:`reachability_matrix` — which (source, destination) pairs deliver,
+  per equivalence class;
+* :func:`find_blackholes` — header spaces a device drops while the
+  requirement expects delivery;
+* :func:`ec_summary` — the human-readable inverse model listing;
+* :func:`differences` — header spaces on which two models disagree (the
+  DNA-style differential question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .bdd.predicate import Predicate
+from .core.model_manager import ModelManager
+from .dataplane.rule import DROP, Action, next_hops_of
+from .errors import ReproError
+from .network.topology import Topology
+
+
+def _assignment(layout, values: Dict[str, int]) -> Dict[int, bool]:
+    assignment: Dict[int, bool] = {}
+    for name in layout.field_names():
+        assignment.update(dict(layout.bits_of(name, values.get(name, 0))))
+    return assignment
+
+
+@dataclass
+class HopTrace:
+    """The forwarding trace of one concrete header."""
+
+    path: List[int]
+    outcome: str  # 'delivered', 'dropped', 'loop', 'budget'
+    delivered_to: Optional[int] = None
+
+    @property
+    def looped(self) -> bool:
+        return self.outcome == "loop"
+
+
+def trace_header(
+    manager: ModelManager,
+    topology: Topology,
+    start: int,
+    values: Dict[str, int],
+    max_hops: int = 128,
+) -> HopTrace:
+    """Walk one header through the model from ``start``."""
+    vec = manager.model.vector_for(_assignment(manager.layout, values))
+    current = start
+    path = [current]
+    seen: Set[int] = set()
+    for _ in range(max_hops):
+        if topology.device(current).is_external:
+            return HopTrace(path, "delivered", delivered_to=current)
+        if current in seen:
+            return HopTrace(path, "loop")
+        seen.add(current)
+        action = manager.model.action_of(vec, current)
+        hops = next_hops_of(action)
+        if not hops:
+            return HopTrace(path, "dropped")
+        current = hops[0]
+        path.append(current)
+    return HopTrace(path, "budget")
+
+
+def reachability_matrix(
+    manager: ModelManager,
+    topology: Topology,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+) -> Dict[Tuple[int, int], Predicate]:
+    """For each (source, destination): the header space delivered there.
+
+    Computed per equivalence class (one graph walk per EC), then OR-ed —
+    the inverse-model workflow of §3.1's "find the header spaces p_j".
+    """
+    engine = manager.engine
+    out: Dict[Tuple[int, int], Predicate] = {
+        (s, d): engine.false for s in sources for d in destinations
+    }
+    dest_set = set(destinations)
+    for pred, vec in manager.model.entries():
+        # Follow single next hops; ECMP actions fan out.
+        reached: Dict[int, Set[int]] = {}
+        for source in sources:
+            seen: Set[int] = set()
+            stack = [source]
+            hit: Set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node in dest_set:
+                    hit.add(node)
+                if node in seen or not topology.has_device(node):
+                    continue
+                seen.add(node)
+                if topology.device(node).is_external:
+                    continue
+                for hop in next_hops_of(manager.model.action_of(vec, node)):
+                    if hop not in seen:
+                        stack.append(hop)
+            reached[source] = hit
+        for source in sources:
+            for dest in reached[source]:
+                out[(source, dest)] = out[(source, dest)] | pred
+    return out
+
+
+@dataclass
+class Blackhole:
+    """A device dropping traffic it should deliver."""
+
+    device: int
+    header_space: Predicate
+
+    def headers(self) -> int:
+        return self.header_space.sat_count()
+
+
+def find_blackholes(
+    manager: ModelManager,
+    topology: Topology,
+    expected_delivered: Optional[Predicate] = None,
+) -> List[Blackhole]:
+    """Devices with a non-empty DROP space inside ``expected_delivered``."""
+    engine = manager.engine
+    scope = engine.true if expected_delivered is None else expected_delivered
+    drops: Dict[int, Predicate] = {}
+    for pred, vec in manager.model.entries():
+        for device in topology.switches():
+            action = manager.model.action_of(vec, device)
+            if action == DROP or action is None:
+                current = drops.get(device, engine.false)
+                drops[device] = current | pred
+    out = []
+    for device, pred in sorted(drops.items()):
+        inside = pred & scope
+        if not inside.is_false:
+            out.append(Blackhole(device, inside))
+    return out
+
+
+def ec_summary(
+    manager: ModelManager, topology: Topology, limit: int = 32
+) -> List[str]:
+    """Human-readable inverse model listing (biggest ECs first)."""
+    rows = []
+    entries = sorted(
+        manager.model.entries(), key=lambda e: -e[0].sat_count()
+    )
+    for pred, vec in entries[:limit]:
+        actions = {
+            topology.name_of(d): manager.model.action_of(vec, d)
+            for d in topology.switches()
+        }
+        rows.append(f"|EC|={pred.sat_count():>8}  {actions}")
+    if len(entries) > limit:
+        rows.append(f"... and {len(entries) - limit} more ECs")
+    return rows
+
+
+def differences(
+    manager_a: ModelManager, manager_b: ModelManager
+) -> Dict[int, Predicate]:
+    """Per device: the header space where two models forward differently.
+
+    Both managers must share the same engine-independent layout; the
+    comparison is computed in ``manager_a``'s engine.
+    """
+    if manager_a.layout.field_names() != manager_b.layout.field_names():
+        raise ReproError("models use different header layouts")
+    engine = manager_a.engine
+    devices = set(manager_a.snapshot.devices()) & set(manager_b.snapshot.devices())
+    diff: Dict[int, Predicate] = {d: engine.false for d in sorted(devices)}
+    for pred_a, vec_a in manager_a.model.entries():
+        for pred_b, vec_b in manager_b.model.entries():
+            # Rebuild B's predicate inside A's engine via its rules — we
+            # instead intersect structurally: evaluate B's predicate by
+            # re-compiling is expensive, so require same engine when shared.
+            if manager_b.engine is manager_a.engine:
+                overlap = pred_a & pred_b
+            else:
+                overlap = pred_a & engine.pred(
+                    _transplant(manager_b, manager_a, pred_b)
+                )
+            if overlap.is_false:
+                continue
+            for device in devices:
+                if manager_a.model.action_of(vec_a, device) != (
+                    manager_b.model.action_of(vec_b, device)
+                ):
+                    diff[device] = diff[device] | overlap
+    return {d: p for d, p in diff.items() if not p.is_false}
+
+
+def _transplant(src_manager, dst_manager, pred) -> int:
+    """Rebuild a BDD node from one engine inside another (same layout)."""
+    src = src_manager.engine.bdd
+    dst = dst_manager.engine.bdd
+    memo: Dict[int, int] = {}
+
+    def go(node: int) -> int:
+        if node <= 1:
+            return node
+        got = memo.get(node)
+        if got is not None:
+            return got
+        low = go(src.low(node))
+        high = go(src.high(node))
+        result = dst._mk(src.var(node), low, high)  # noqa: SLF001
+        memo[node] = result
+        return result
+
+    return go(pred.node)

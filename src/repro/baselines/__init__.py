@@ -1,0 +1,19 @@
+"""State-of-the-art baselines reimplemented from their published pseudocode."""
+
+from .apkeep import APKeepVerifier
+from .deltanet import DeltaNetVerifier
+from .strategies import (
+    BlockUpdateVerification,
+    PerUpdateVerification,
+    PropertyCheck,
+    Report,
+)
+
+__all__ = [
+    "APKeepVerifier",
+    "DeltaNetVerifier",
+    "BlockUpdateVerification",
+    "PerUpdateVerification",
+    "PropertyCheck",
+    "Report",
+]

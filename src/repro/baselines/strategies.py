@@ -1,0 +1,84 @@
+"""PUV and BUV verification strategies (§5.3, Figure 8).
+
+The paper's consistency experiment compares CE2D against:
+
+* **PUV** (per-update verification): check the property after every single
+  rule update — e.g. VeriFlow/Delta-net/APKeep style;
+* **BUV** (block-update verification): check after each block of updates —
+  e.g. DNA style.
+
+Both apply updates to a single model regardless of epochs, so they report
+*transient* violations that the converged network does not have — the
+false positives of Figure 8.  They are built here on top of the Flash model
+manager so the comparison isolates the *strategy*, not the model engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.model_manager import ModelManager
+from ..dataplane.update import RuleUpdate
+
+#: A property checker: inspects a model manager, returns a violation
+#: description or None.
+PropertyCheck = Callable[[ModelManager], Optional[str]]
+
+
+@dataclass
+class Report:
+    """One deterministic verdict emitted by a strategy."""
+
+    time: float
+    violation: Optional[str]
+
+    @property
+    def is_violation(self) -> bool:
+        return self.violation is not None
+
+
+class PerUpdateVerification:
+    """PUV: apply one update, check, repeat."""
+
+    name = "PUV"
+
+    def __init__(self, manager: ModelManager, check: PropertyCheck) -> None:
+        self.manager = manager
+        self.check = check
+        self.reports: List[Report] = []
+
+    def feed(self, updates: Iterable[Tuple[float, RuleUpdate]]) -> List[Report]:
+        """Process (timestamp, update) pairs, checking after each one."""
+        for when, update in updates:
+            self.manager.submit([update])
+            self.manager.flush()
+            self.reports.append(Report(when, self.check(self.manager)))
+        return self.reports
+
+    def violations(self) -> List[Report]:
+        return [r for r in self.reports if r.is_violation]
+
+
+class BlockUpdateVerification:
+    """BUV: apply a block of updates, then check once."""
+
+    name = "BUV"
+
+    def __init__(self, manager: ModelManager, check: PropertyCheck) -> None:
+        self.manager = manager
+        self.check = check
+        self.reports: List[Report] = []
+
+    def feed_blocks(
+        self, blocks: Iterable[Tuple[float, Sequence[RuleUpdate]]]
+    ) -> List[Report]:
+        """Process (timestamp, block) pairs, checking after each block."""
+        for when, block in blocks:
+            self.manager.submit(block)
+            self.manager.flush()
+            self.reports.append(Report(when, self.check(self.manager)))
+        return self.reports
+
+    def violations(self) -> List[Report]:
+        return [r for r in self.reports if r.is_violation]

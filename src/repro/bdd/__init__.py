@@ -1,0 +1,6 @@
+"""Binary decision diagram substrate (the paper's JDD equivalent)."""
+
+from .engine import BDD, FALSE, TRUE
+from .predicate import OpCounter, Predicate, PredicateEngine
+
+__all__ = ["BDD", "FALSE", "TRUE", "OpCounter", "Predicate", "PredicateEngine"]

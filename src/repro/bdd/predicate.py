@@ -1,0 +1,241 @@
+"""Counting predicate layer on top of the raw BDD engine.
+
+The paper reports "#Predicate Operations" — the number of conjunction (∧),
+disjunction (∨) and negation (¬) operations each verifier issues — as the
+machine-independent performance metric of Table 3.  This module provides:
+
+* :class:`PredicateEngine` — owns a :class:`~repro.bdd.engine.BDD` and counts
+  every predicate operation issued through it;
+* :class:`Predicate` — an immutable handle supporting ``&``, ``|``, ``~``,
+  ``-`` (difference) and set-style queries, hashable and comparable in O(1)
+  thanks to BDD canonicity.
+
+All higher layers (Fast IMT, CE2D, APKeep*) speak :class:`Predicate`;
+Delta-net* uses intervals instead and counts its interval operations through
+the same counter interface so Table 3 is comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from .engine import BDD, FALSE, TRUE
+
+
+@dataclass
+class OpCounter:
+    """Mutable tally of predicate operations, mirroring Table 3's column."""
+
+    conjunctions: int = 0
+    disjunctions: int = 0
+    negations: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.conjunctions + self.disjunctions + self.negations
+
+    def snapshot(self) -> "OpCounter":
+        return OpCounter(
+            conjunctions=self.conjunctions,
+            disjunctions=self.disjunctions,
+            negations=self.negations,
+            extra=dict(self.extra),
+        )
+
+    def diff(self, earlier: "OpCounter") -> "OpCounter":
+        return OpCounter(
+            conjunctions=self.conjunctions - earlier.conjunctions,
+            disjunctions=self.disjunctions - earlier.disjunctions,
+            negations=self.negations - earlier.negations,
+            extra={
+                k: self.extra.get(k, 0) - earlier.extra.get(k, 0)
+                for k in set(self.extra) | set(earlier.extra)
+            },
+        )
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def reset(self) -> None:
+        self.conjunctions = 0
+        self.disjunctions = 0
+        self.negations = 0
+        self.extra.clear()
+
+
+class Predicate:
+    """An immutable boolean function over the engine's header variables.
+
+    Two predicates from the same engine are equal iff their BDD node ids are
+    equal (ROBDD canonicity), so ``==`` and ``hash`` are O(1).
+    """
+
+    __slots__ = ("engine", "node")
+
+    def __init__(self, engine: "PredicateEngine", node: int) -> None:
+        self.engine = engine
+        self.node = node
+
+    # -- algebra -------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return self.engine.conj(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return self.engine.disj(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return self.engine.neg(self)
+
+    def __sub__(self, other: "Predicate") -> "Predicate":
+        return self.engine.diff(self, other)
+
+    def __xor__(self, other: "Predicate") -> "Predicate":
+        return self.engine.xor(self, other)
+
+    # -- queries -------------------------------------------------------
+    @property
+    def is_false(self) -> bool:
+        return self.node == FALSE
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == TRUE
+
+    def intersects(self, other: "Predicate") -> bool:
+        return (self & other).node != FALSE
+
+    def covers(self, other: "Predicate") -> bool:
+        """Whether ``other`` ⊆ ``self``."""
+        return self.engine.bdd.implies(other.node, self.node)
+
+    def sat_count(self) -> int:
+        return self.engine.bdd.sat_count(self.node)
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        return self.engine.bdd.evaluate(self.node, assignment)
+
+    def any_assignment(self) -> Optional[Dict[int, bool]]:
+        return self.engine.bdd.any_assignment(self.node)
+
+    def node_count(self) -> int:
+        return self.engine.bdd.node_count(self.node)
+
+    # -- identity ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Predicate)
+            and other.engine is self.engine
+            and other.node == self.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.engine), self.node))
+
+    def __bool__(self) -> bool:  # guard against `if pred:` ambiguity
+        raise TypeError(
+            "Predicate truthiness is ambiguous; use .is_false / .is_true"
+        )
+
+    def __repr__(self) -> str:
+        if self.node == FALSE:
+            return "Predicate(⊥)"
+        if self.node == TRUE:
+            return "Predicate(⊤)"
+        return f"Predicate(node={self.node})"
+
+
+class PredicateEngine:
+    """Factory and operation counter for :class:`Predicate` objects."""
+
+    def __init__(self, num_vars: int) -> None:
+        self.bdd = BDD(num_vars)
+        self.counter = OpCounter()
+        self._false = Predicate(self, FALSE)
+        self._true = Predicate(self, TRUE)
+
+    # -- constants -----------------------------------------------------
+    @property
+    def false(self) -> Predicate:
+        return self._false
+
+    @property
+    def true(self) -> Predicate:
+        return self._true
+
+    @property
+    def num_vars(self) -> int:
+        return self.bdd.num_vars
+
+    # -- construction --------------------------------------------------
+    def pred(self, node: int) -> Predicate:
+        if node == FALSE:
+            return self._false
+        if node == TRUE:
+            return self._true
+        return Predicate(self, node)
+
+    def variable(self, i: int) -> Predicate:
+        return self.pred(self.bdd.ith_var(i))
+
+    def literal(self, i: int, value: bool) -> Predicate:
+        return self.pred(self.bdd.literal(i, value))
+
+    def cube(self, literals: Iterable[Tuple[int, bool]]) -> Predicate:
+        """Conjunction of literals; counted as a single predicate operation."""
+        self.counter.conjunctions += 1
+        return self.pred(self.bdd.cube(literals))
+
+    # -- counted operations --------------------------------------------
+    def conj(self, a: Predicate, b: Predicate) -> Predicate:
+        self._check(a, b)
+        self.counter.conjunctions += 1
+        return self.pred(self.bdd.apply_and(a.node, b.node))
+
+    def disj(self, a: Predicate, b: Predicate) -> Predicate:
+        self._check(a, b)
+        self.counter.disjunctions += 1
+        return self.pred(self.bdd.apply_or(a.node, b.node))
+
+    def neg(self, a: Predicate) -> Predicate:
+        self._check(a, a)
+        self.counter.negations += 1
+        return self.pred(self.bdd.negate(a.node))
+
+    def diff(self, a: Predicate, b: Predicate) -> Predicate:
+        """a ∧ ¬b, counted as one conjunction and one negation."""
+        self._check(a, b)
+        self.counter.conjunctions += 1
+        self.counter.negations += 1
+        return self.pred(self.bdd.apply_diff(a.node, b.node))
+
+    def xor(self, a: Predicate, b: Predicate) -> Predicate:
+        self._check(a, b)
+        self.counter.conjunctions += 1
+        return self.pred(self.bdd.apply_xor(a.node, b.node))
+
+    def disj_many(self, preds: Iterable[Predicate]) -> Predicate:
+        result = self._false
+        for p in preds:
+            result = self.disj(result, p)
+        return result
+
+    def conj_many(self, preds: Iterable[Predicate]) -> Predicate:
+        result = self._true
+        for p in preds:
+            result = self.conj(result, p)
+        return result
+
+    # -- bookkeeping -----------------------------------------------------
+    def _check(self, a: Predicate, b: Predicate) -> None:
+        if a.engine is not self or b.engine is not self:
+            raise ValueError("predicates belong to a different engine")
+
+    @property
+    def live_nodes(self) -> int:
+        return self.bdd.num_nodes
+
+    def memory_estimate_bytes(self) -> int:
+        """Rough memory footprint: ~40 bytes per BDD node (3 ints + tables)."""
+        return self.bdd.num_nodes * 40

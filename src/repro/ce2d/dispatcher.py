@@ -1,0 +1,141 @@
+"""The CE2D dispatcher (Figure 1, §4.1).
+
+Responsibilities:
+
+1. manage subspace-verifier life cycles: create a verifier when an epoch
+   becomes a potential converged state, stop (drop) verifiers whose epoch is
+   proven stale;
+2. maintain per-device update logs and the epoch→verifier mapping, and
+   feed each verifier the right updates at the right moment.
+
+Because FIB updates are *diffs* against the device's previous FIB, a
+verifier for epoch ``t`` must replay each device's serialized update stream
+from the beginning up to and including its batch tagged ``t`` — this is how
+"each subspace verifier maintains the complete FIB snapshots but only
+verifies ... a specific epoch" (§2).  A device counts as *synchronised* for
+``t`` only once that tagged batch has been applied.
+
+A back-off knob bounds verifier creation rate (the paper's guard against
+control-plane bugs creating epochs faster than they converge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dataplane.update import EpochTag, RuleUpdate
+from ..errors import DispatchError
+from .epoch import EpochTracker
+from .results import Verdict
+from .verifier import Report, SubspaceVerifier
+
+VerifierFactory = Callable[[EpochTag], SubspaceVerifier]
+
+
+@dataclass
+class _DeviceLog:
+    """One device's serialized stream of tagged batches."""
+
+    batches: List[Tuple[EpochTag, List[RuleUpdate]]] = field(default_factory=list)
+
+    def append(self, tag: EpochTag, updates: Sequence[RuleUpdate]) -> None:
+        self.batches.append((tag, list(updates)))
+
+    def prefix_through(self, tag: EpochTag) -> Optional[Tuple[int, List[RuleUpdate]]]:
+        """Updates from the start through the last batch tagged ``tag``.
+
+        Returns (next_index, updates) or None when no batch carries the tag.
+        """
+        last = None
+        for i, (t, _) in enumerate(self.batches):
+            if t == tag:
+                last = i
+        if last is None:
+            return None
+        combined: List[RuleUpdate] = []
+        for _, updates in self.batches[: last + 1]:
+            combined.extend(updates)
+        return last + 1, combined
+
+
+class CE2DDispatcher:
+    """Epoch-aware routing of tagged updates to subspace verifiers."""
+
+    def __init__(
+        self,
+        factory: VerifierFactory,
+        max_live_verifiers: int = 8,
+    ) -> None:
+        self.factory = factory
+        self.max_live_verifiers = max_live_verifiers
+        self.tracker = EpochTracker()
+        self.verifiers: Dict[EpochTag, SubspaceVerifier] = {}
+        self._logs: Dict[int, _DeviceLog] = {}
+        self._fed: Dict[EpochTag, Set[int]] = {}
+        self.reports: List[Report] = []
+
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        device: int,
+        epoch: EpochTag,
+        updates: Sequence[RuleUpdate],
+        now: Optional[float] = None,
+    ) -> List[Report]:
+        """Ingest one tagged batch from a device agent (Figure 1 steps 3-4)."""
+        if epoch is None:
+            raise DispatchError("updates must carry an epoch tag")
+        self.tracker.observe(device, epoch)
+        self._logs.setdefault(device, _DeviceLog()).append(epoch, updates)
+        self._garbage_collect()
+        return self._drain(now)
+
+    def _garbage_collect(self) -> None:
+        """Stop verifiers whose epoch can no longer be the converged state."""
+        for tag in list(self.verifiers):
+            if self.tracker.is_inactive(tag):
+                del self.verifiers[tag]
+                self._fed.pop(tag, None)
+
+    def _drain(self, now: Optional[float]) -> List[Report]:
+        """Feed update prefixes of active epochs to their verifiers."""
+        results: List[Report] = []
+        for tag in self.tracker.active_tags():
+            verifier = self.verifiers.get(tag)
+            if verifier is None:
+                if len(self.verifiers) >= self.max_live_verifiers:
+                    continue  # back-off: defer until capacity frees up
+                verifier = self.factory(tag)
+                verifier.epoch = tag
+                self.verifiers[tag] = verifier
+                self._fed[tag] = set()
+            fed = self._fed[tag]
+            for device, log in self._logs.items():
+                if device in fed:
+                    continue
+                prefix = log.prefix_through(tag)
+                if prefix is None:
+                    continue  # device has not reported this epoch yet
+                fed.add(device)
+                results.extend(verifier.receive(device, prefix[1], now=now))
+        self.reports.extend(results)
+        return results
+
+    # ------------------------------------------------------------------
+    def verifier_for(self, epoch: EpochTag) -> Optional[SubspaceVerifier]:
+        return self.verifiers.get(epoch)
+
+    def active_verifiers(self) -> List[SubspaceVerifier]:
+        return [
+            v for t, v in self.verifiers.items() if self.tracker.is_active(t)
+        ]
+
+    def deterministic_reports(self) -> List[Report]:
+        return [r for r in self.reports if r.verdict is not Verdict.UNKNOWN]
+
+    def __repr__(self) -> str:
+        return (
+            f"CE2DDispatcher({len(self.verifiers)} verifiers, "
+            f"active={len(self.tracker.active_tags())})"
+        )

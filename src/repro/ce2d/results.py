@@ -1,0 +1,52 @@
+"""Verdicts and reports emitted by CE2D verifiers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Hashable, List, Optional
+
+
+class Verdict(enum.Enum):
+    """Tri-state outcome of consistent early detection."""
+
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self is not Verdict.UNKNOWN
+
+
+@dataclass
+class VerificationReport:
+    """One deterministic (or still-unknown) result for a requirement/epoch."""
+
+    requirement: str
+    verdict: Verdict
+    epoch: Optional[Hashable] = None
+    time: Optional[float] = None
+    detail: str = ""
+    witness: Optional[List[Any]] = None
+
+    def __repr__(self) -> str:
+        extra = f", {self.detail}" if self.detail else ""
+        return (
+            f"VerificationReport({self.requirement}: {self.verdict.value}"
+            f"{extra})"
+        )
+
+
+@dataclass
+class LoopReport:
+    """Outcome of consistent early loop detection."""
+
+    verdict: Verdict
+    epoch: Optional[Hashable] = None
+    time: Optional[float] = None
+    loop_path: Optional[List[int]] = None
+
+    @property
+    def has_loop(self) -> bool:
+        return self.verdict is Verdict.VIOLATED

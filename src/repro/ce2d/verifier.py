@@ -1,0 +1,170 @@
+"""Subspace verifiers (Figure 1): model manager + CE2D checkers.
+
+A :class:`SubspaceVerifier` owns one :class:`~repro.core.model_manager.
+ModelManager` for a (epoch, subspace) pair plus the CE2D checkers attached
+to it (loop detector, regex/cover verifiers).  Feeding it a device's update
+batch marks that device synchronised and runs early detection on the new
+consistent model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+from ..core.inverse_model import EcDelta
+from ..core.model_manager import ModelManager
+from ..dataplane.rule import DROP, Action
+from ..dataplane.update import EpochTag, RuleUpdate
+from ..headerspace.fields import HeaderLayout
+from ..network.topology import Topology
+from ..spec.requirement import Requirement
+from .loop_detector import LoopDetector
+from .regex_verifier import CoverVerifier, RegexVerifier
+from .results import LoopReport, Verdict, VerificationReport
+
+Report = Union[LoopReport, VerificationReport]
+
+
+class Checker:
+    """The §5.1 extension point: a custom CE2D verification function.
+
+    Subclass (or duck-type) and attach via ``SubspaceVerifier.add_checker``.
+    ``on_model_update`` is called once per consistent model update with the
+    post-flush equivalence classes, the devices that just synchronised, and
+    the inverse model; it must return a report object carrying a
+    ``verdict`` attribute (e.g. :class:`VerificationReport`).
+    """
+
+    def on_model_update(self, deltas, new_synced, model) -> Report:
+        raise NotImplementedError
+
+
+class SubspaceVerifier:
+    """One (epoch, subspace) verifier with attached CE2D checkers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        layout: HeaderLayout,
+        epoch: Optional[EpochTag] = None,
+        subspace_match=None,
+        check_loops: bool = False,
+        requirements: Sequence[Requirement] = (),
+        default_action: Action = DROP,
+        block_threshold: Optional[int] = None,
+        use_dgq: bool = True,
+        manager: Optional[ModelManager] = None,
+    ) -> None:
+        self.topology = topology
+        self.layout = layout
+        self.epoch = epoch
+        self.subspace_match = subspace_match
+        if manager is None:
+            manager = ModelManager(
+                topology.switches(),
+                layout,
+                default_action=default_action,
+                block_threshold=block_threshold,
+                subspace_match=subspace_match,
+            )
+        self.manager = manager
+        self.synced: Set[int] = set()
+        self.loop_detector = LoopDetector(topology) if check_loops else None
+        self.regex_verifiers: List[Union[RegexVerifier, CoverVerifier]] = []
+        for req in requirements:
+            cls = CoverVerifier if req.is_cover else RegexVerifier
+            if req.is_cover:
+                verifier = CoverVerifier(req, topology, layout, self.manager.compiler)
+            else:
+                verifier = RegexVerifier(
+                    req,
+                    topology,
+                    layout,
+                    self.manager.compiler,
+                    use_dgq=use_dgq,
+                    universe=self.manager.model.universe,
+                )
+            self.regex_verifiers.append(verifier)
+        self.custom_checkers: List[Checker] = []
+        self.reports: List[Report] = []
+        self._started = time.perf_counter()
+
+    def add_checker(self, checker: Checker) -> None:
+        """Attach a custom CE2D verification function (§5.1)."""
+        self.custom_checkers.append(checker)
+
+    # ------------------------------------------------------------------
+    def receive(
+        self, device: int, updates: Iterable[RuleUpdate], now: Optional[float] = None
+    ) -> List[Report]:
+        """Ingest one device's update batch for this epoch.
+
+        The device is considered synchronised afterwards (its FIB for this
+        epoch is complete), and every attached checker runs early detection
+        on the updated, consistent model.
+        """
+        self.manager.submit(updates)
+        deltas = self.manager.flush()
+        if not deltas:  # empty batch: device confirmed an unchanged FIB
+            deltas = [
+                EcDelta(pred, vec, pred.node)
+                for pred, vec in self.manager.model.entries()
+            ]
+        return self._run_checkers(deltas, [device], now)
+
+    def _run_checkers(
+        self,
+        deltas: List[EcDelta],
+        new_synced: Sequence[int],
+        now: Optional[float],
+    ) -> List[Report]:
+        stamp = time.perf_counter() - self._started if now is None else now
+        self.synced.update(new_synced)
+        results: List[Report] = []
+        if self.loop_detector is not None:
+            report = self.loop_detector.on_model_update(
+                deltas, new_synced, self.manager.model
+            )
+            report.epoch = self.epoch
+            report.time = stamp
+            results.append(report)
+        for verifier in self.regex_verifiers:
+            report = verifier.on_model_update(
+                deltas, new_synced, self.manager.model
+            )
+            report.epoch = self.epoch
+            report.time = stamp
+            results.append(report)
+        for checker in self.custom_checkers:
+            report = checker.on_model_update(
+                deltas, new_synced, self.manager.model
+            )
+            if hasattr(report, "epoch"):
+                report.epoch = self.epoch
+            if hasattr(report, "time"):
+                report.time = stamp
+            results.append(report)
+        self.reports.extend(results)
+        return results
+
+    # ------------------------------------------------------------------
+    def deterministic_reports(self) -> List[Report]:
+        return [r for r in self.reports if r.verdict is not Verdict.UNKNOWN]
+
+    def first_deterministic(self) -> Optional[Report]:
+        for report in self.reports:
+            if report.verdict is not Verdict.UNKNOWN:
+                return report
+        return None
+
+    @property
+    def num_synced(self) -> int:
+        return len(self.synced)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubspaceVerifier(epoch={self.epoch!r}, "
+            f"synced={len(self.synced)}/{len(self.topology.switches())})"
+        )

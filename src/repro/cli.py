@@ -1,0 +1,253 @@
+"""Command-line interface: generate traces, verify them, run simulations.
+
+Examples
+--------
+Generate an update trace for a fabric data plane and verify it::
+
+    python -m repro generate --topology fabric --fib ecmp --out trace.jsonl
+    python -m repro verify --topology fabric --trace trace.jsonl
+
+Run the OpenR early-detection demo with a buggy switch::
+
+    python -m repro simulate --topology internet2 --buggy kans --dampen seat
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .baselines.apkeep import APKeepVerifier
+from .baselines.deltanet import DeltaNetVerifier
+from .ce2d.results import Verdict
+from .core.model_manager import ModelManager
+from .dataplane.trace import inserts_only, insert_then_delete, read_trace, write_trace
+from .errors import ReproError
+from .fibgen.ecmp import std_fib_ecmp
+from .fibgen.shortest_path import std_fib
+from .fibgen.suffix import std_fib_suffix
+from .flash import Flash
+from .headerspace.fields import dst_only_layout, dst_src_layout
+from .network import generators
+from .network.topology import Topology
+from .routing.openr import OpenRSimulation
+
+_TOPOLOGIES = {
+    "fabric": lambda args: generators.fabric(
+        pods=args.pods, tors_per_pod=args.tors, fabrics_per_pod=2, spines_per_plane=2
+    ),
+    "fattree": lambda args: generators.fat_tree(args.pods),
+    "internet2": lambda args: generators.internet2(),
+    "stanford": lambda args: generators.stanford(),
+    "airtel": lambda args: generators.airtel(),
+}
+
+
+def _build_topology(args) -> Topology:
+    try:
+        factory = _TOPOLOGIES[args.topology]
+    except KeyError:
+        raise ReproError(
+            f"unknown topology {args.topology!r}; pick from {sorted(_TOPOLOGIES)}"
+        ) from None
+    return factory(args)
+
+
+def _build_layout(args):
+    if args.fib == "ecmp":
+        return dst_src_layout(args.dst_bits, 4)
+    return dst_only_layout(args.dst_bits)
+
+
+def _attach_loopbacks(topo: Topology) -> None:
+    if topo.externals():
+        return
+    for switch in list(topo.switches()):
+        host = topo.add_external(f"h_{topo.name_of(switch)}")
+        topo.add_link(switch, host)
+
+
+def cmd_generate(args) -> int:
+    topo = _build_topology(args)
+    _attach_loopbacks(topo)
+    layout = _build_layout(args)
+    if args.fib == "apsp":
+        rules = std_fib(topo, layout)
+    elif args.fib == "ecmp":
+        rules = std_fib_ecmp(topo, layout)
+    elif args.fib == "smr":
+        rules = std_fib_suffix(topo, layout)
+    else:
+        raise ReproError(f"unknown fib pattern {args.fib!r}")
+    trace = (
+        insert_then_delete(rules) if args.insert_then_delete else inserts_only(rules)
+    )
+    count = write_trace(args.out, trace)
+    print(f"wrote {count} updates for {topo.num_devices} devices to {args.out}")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    topo = _build_topology(args)
+    _attach_loopbacks(topo)
+    layout = _build_layout(args)
+    updates = list(read_trace(args.trace))
+    print(f"verifying {len(updates)} updates with {args.engine} ...")
+    start = time.perf_counter()
+    if args.engine == "flash":
+        flash = Flash(topo, layout, check_loops=True)
+        flash.verify_offline(updates)
+        elapsed = time.perf_counter() - start
+        violation = flash.first_violation()
+        if violation is not None:
+            print(f"VIOLATED: {violation!r}")
+        else:
+            print("no violations: the converged data plane is loop-free")
+    elif args.engine == "apkeep":
+        verifier = APKeepVerifier(topo.switches(), layout)
+        verifier.process_updates(updates)
+        elapsed = time.perf_counter() - start
+        print(f"model built: {verifier.num_ecs()} ECs, "
+              f"{verifier.counter.total} predicate ops")
+    elif args.engine == "deltanet":
+        verifier = DeltaNetVerifier(topo.switches(), layout)
+        verifier.process_updates(updates)
+        elapsed = time.perf_counter() - start
+        print(f"model built: {verifier.num_atoms} atoms, "
+              f"{verifier.counter.extra.get('atom_ops', 0)} atom ops")
+    else:
+        raise ReproError(f"unknown engine {args.engine!r}")
+    print(f"took {elapsed:.3f}s")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Operator queries over a verified trace: ECs, blackholes, traces."""
+    from .analysis import ec_summary, find_blackholes, trace_header
+
+    topo = _build_topology(args)
+    _attach_loopbacks(topo)
+    layout = _build_layout(args)
+    updates = list(read_trace(args.trace))
+    manager = ModelManager(topo.switches(), layout)
+    manager.submit(updates)
+    manager.flush()
+    print(f"model: {manager.num_ecs()} equivalence classes from "
+          f"{len(updates)} updates\n")
+    print("inverse model (largest ECs first):")
+    for line in ec_summary(manager, topo, limit=args.limit):
+        print(f"  {line}")
+    holes = find_blackholes(manager, topo)
+    if holes:
+        from .headerspace.format import format_predicate
+
+        print("\nblackholes:")
+        for hole in holes[: args.limit]:
+            space = format_predicate(hole.header_space, layout, limit=4)
+            print(f"  {topo.name_of(hole.device)}: {hole.headers()} headers "
+                  f"dropped ({space})")
+    else:
+        print("\nno blackholes")
+    if args.trace_from is not None:
+        values = {"dst": args.trace_dst}
+        result = trace_header(manager, topo, topo.id_of(args.trace_from), values)
+        names = [topo.name_of(d) for d in result.path]
+        print(f"\ntrace dst={args.trace_dst} from {args.trace_from}: "
+              f"{' -> '.join(names)} [{result.outcome}]")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    topo = _build_topology(args)
+    layout = dst_only_layout(args.dst_bits)
+    buggy = [topo.id_of(args.buggy)] if args.buggy else []
+    dampening = {topo.id_of(args.dampen): args.dampen_seconds} if args.dampen else {}
+    sim = OpenRSimulation(
+        topo, layout, buggy_nodes=buggy, dampening=dampening, seed=args.seed
+    )
+    flash = Flash(topo, layout, check_loops=True)
+    flash.attach_to(sim)
+    sim.bootstrap()
+    sim.run()
+    if args.fail_link:
+        u, v = args.fail_link.split("-")
+        sim.fail_link_by_name(u, v, at=sim.loop.now + 0.1)
+        sim.run()
+    print(f"{len(sim.batches)} FIB batches delivered")
+    deterministic = flash.deterministic_reports()
+    if not deterministic:
+        print("no deterministic verdicts yet (network still converging)")
+    for report in deterministic[-5:]:
+        stamp = f"t={report.time:.3f}s" if report.time is not None else ""
+        print(f"{stamp}  epoch {str(report.epoch)[:8]}  {report.verdict.value}")
+    violations = [r for r in deterministic if r.verdict is Verdict.VIOLATED]
+    return 1 if violations else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Flash data plane verification (SIGCOMM 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--topology", default="fabric", help="topology family")
+        p.add_argument("--pods", type=int, default=4)
+        p.add_argument("--tors", type=int, default=4)
+        p.add_argument("--dst-bits", type=int, default=10, dest="dst_bits")
+        p.add_argument("--fib", default="apsp", choices=["apsp", "ecmp", "smr"])
+
+    gen = sub.add_parser("generate", help="generate an update trace")
+    common(gen)
+    gen.add_argument("--out", required=True)
+    gen.add_argument(
+        "--insert-then-delete", action="store_true", help="Table-2 trace style"
+    )
+    gen.set_defaults(func=cmd_generate)
+
+    ver = sub.add_parser("verify", help="verify a trace file")
+    common(ver)
+    ver.add_argument("--trace", required=True)
+    ver.add_argument(
+        "--engine", default="flash", choices=["flash", "apkeep", "deltanet"]
+    )
+    ver.set_defaults(func=cmd_verify)
+
+    ana = sub.add_parser("analyze", help="query a verified trace")
+    common(ana)
+    ana.add_argument("--trace", required=True)
+    ana.add_argument("--limit", type=int, default=10)
+    ana.add_argument("--trace-from", default=None, dest="trace_from",
+                     help="device name to trace a header from")
+    ana.add_argument("--trace-dst", type=int, default=0, dest="trace_dst")
+    ana.set_defaults(func=cmd_analyze)
+
+    simp = sub.add_parser("simulate", help="run the OpenR simulation + CE2D")
+    simp.add_argument("--topology", default="internet2")
+    simp.add_argument("--pods", type=int, default=4)
+    simp.add_argument("--tors", type=int, default=4)
+    simp.add_argument("--dst-bits", type=int, default=8, dest="dst_bits")
+    simp.add_argument("--buggy", default=None, help="buggy switch name")
+    simp.add_argument("--dampen", default=None, help="dampened switch name")
+    simp.add_argument("--dampen-seconds", type=float, default=60.0)
+    simp.add_argument("--fail-link", default=None, help="e.g. chic-kans")
+    simp.add_argument("--seed", type=int, default=0)
+    simp.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

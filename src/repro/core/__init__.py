@@ -1,0 +1,64 @@
+"""Fast IMT: the paper's first core contribution (§3) and its data structures."""
+
+from .actiontree import EMPTY, ActionTreeStore
+from .arraystore import ArrayActionStore
+from .parallel import SubspaceRunStats, run_partitioned
+from .imt import (
+    calculate_atomic_overwrites,
+    decompose_block,
+    device_action_predicates,
+    effective_predicates,
+    merge_block_and_diff,
+    natural_transformation,
+)
+from .inverse_model import EcDelta, InverseModel, VecId
+from .model_manager import ModelManager
+from .mr2 import (
+    Mr2Pipeline,
+    aggregate,
+    map_phase,
+    reduce_by_action,
+    reduce_by_predicate,
+)
+from .overwrite import Overwrite, atomic, check_conflict_free, make_delta
+from .rewrite import RewriteAction, RewriteAwareChecker, action_next_hops
+from .rule_index import RuleIndex, matches_intersect, patterns_intersect
+from .stats import PhaseBreakdown, Stopwatch
+from .subspace import Subspace, SubspacePartition
+
+__all__ = [
+    "EMPTY",
+    "ActionTreeStore",
+    "ArrayActionStore",
+    "SubspaceRunStats",
+    "run_partitioned",
+    "calculate_atomic_overwrites",
+    "decompose_block",
+    "device_action_predicates",
+    "effective_predicates",
+    "merge_block_and_diff",
+    "natural_transformation",
+    "EcDelta",
+    "InverseModel",
+    "VecId",
+    "ModelManager",
+    "Mr2Pipeline",
+    "aggregate",
+    "map_phase",
+    "reduce_by_action",
+    "reduce_by_predicate",
+    "Overwrite",
+    "atomic",
+    "check_conflict_free",
+    "make_delta",
+    "RewriteAction",
+    "RewriteAwareChecker",
+    "action_next_hops",
+    "RuleIndex",
+    "matches_intersect",
+    "patterns_intersect",
+    "PhaseBreakdown",
+    "Stopwatch",
+    "Subspace",
+    "SubspacePartition",
+]

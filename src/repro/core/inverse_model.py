@@ -1,0 +1,163 @@
+"""The inverse model — equivalence-class representation (§3.1, Definition 6).
+
+An :class:`InverseModel` is the set ``M = {(p_j, y_j)}`` with the three
+Definition-6 invariants: action vectors unique, predicates mutually
+exclusive, predicates complementary (covering the verifier's universe).
+
+Action vectors are PAT node ids (see :mod:`repro.core.actiontree`), so the
+EC table is a plain ``dict`` keyed by vector id, and the model-overwrite
+cross product (Definition 9) is the sequential application in
+:meth:`InverseModel.apply_overwrites` — with provenance tracking so CE2D can
+duplicate verification graphs on EC splits (Algorithm 2, L7-10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bdd.predicate import Predicate, PredicateEngine
+from ..dataplane.rule import DROP, Action
+from ..errors import ModelInvariantError
+from .actiontree import ActionTreeStore
+from .overwrite import Overwrite
+
+VecId = int
+
+
+@dataclass
+class EcDelta:
+    """One post-block equivalence class with its lineage.
+
+    ``origin`` is the node id of the predicate of the pre-block EC this one
+    descends from.  When several pre-block ECs merged into this one, any
+    parent is equivalent for graph duplication (they agreed on every
+    previously-synchronised device — see DESIGN.md §4) and the first is
+    kept.
+    """
+
+    predicate: Predicate
+    vector: VecId
+    origin: int
+
+
+class InverseModel:
+    """The equivalence-class model of one (subspace) verifier."""
+
+    def __init__(
+        self,
+        engine: PredicateEngine,
+        store: ActionTreeStore,
+        devices: Sequence[int],
+        default_action: Action = DROP,
+        universe: Optional[Predicate] = None,
+    ) -> None:
+        self.engine = engine
+        self.store = store
+        self.devices = list(devices)
+        self.universe = engine.true if universe is None else universe
+        initial_vector = store.uniform(self.devices, default_action)
+        self._entries: Dict[VecId, Predicate] = {}
+        if not self.universe.is_false:
+            self._entries[initial_vector] = self.universe
+
+    # -- queries -------------------------------------------------------------
+    def entries(self) -> List[Tuple[Predicate, VecId]]:
+        """The (p_j, y_j) pairs of the model."""
+        return [(p, v) for v, p in self._entries.items()]
+
+    def predicates(self) -> List[Predicate]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def action_of(self, vector: VecId, device: int) -> Action:
+        return self.store.get(vector, device)
+
+    def vector_for(self, assignment: Dict[int, bool]) -> VecId:
+        """The behavior vector for one concrete header (test helper)."""
+        for vector, pred in self._entries.items():
+            if pred.evaluate(assignment):
+                return vector
+        raise ModelInvariantError("header not covered by any EC")
+
+    def behavior(self, assignment: Dict[int, bool]) -> Dict[int, Action]:
+        """The network-wide behavior b_M(h) for one concrete header."""
+        return self.store.to_dict(self.vector_for(assignment))
+
+    # -- mutation --------------------------------------------------------------
+    def apply_overwrites(self, overwrites: Iterable[Overwrite]) -> List[EcDelta]:
+        """Apply a block of conflict-free overwrites (the cross product).
+
+        Returns the full post-block EC list annotated with lineage.  ECs
+        whose predicate becomes empty disappear; ECs mapping to the same
+        vector merge by predicate disjunction.
+        """
+        work: Dict[VecId, Tuple[Predicate, int]] = {
+            vec: (pred, pred.node) for vec, pred in self._entries.items()
+        }
+        for ow in overwrites:
+            if ow.predicate.is_false or ow.is_noop:
+                continue
+            delta = ow.delta_dict()
+            next_work: Dict[VecId, Tuple[Predicate, int]] = {}
+            for vec, (pred, origin) in work.items():
+                inter = pred & ow.predicate
+                if inter.is_false:
+                    self._merge(next_work, vec, pred, origin)
+                    continue
+                rest = pred - ow.predicate
+                if not rest.is_false:
+                    self._merge(next_work, vec, rest, origin)
+                new_vec = self.store.overwrite(vec, delta)
+                self._merge(next_work, new_vec, inter, origin)
+            work = next_work
+        self._entries = {vec: pred for vec, (pred, _) in work.items()}
+        return [
+            EcDelta(predicate=pred, vector=vec, origin=origin)
+            for vec, (pred, origin) in work.items()
+        ]
+
+    @staticmethod
+    def _merge(
+        bucket: Dict[VecId, Tuple[Predicate, int]],
+        vec: VecId,
+        pred: Predicate,
+        origin: int,
+    ) -> None:
+        existing = bucket.get(vec)
+        if existing is None:
+            bucket[vec] = (pred, origin)
+        else:
+            bucket[vec] = (existing[0] | pred, existing[1])
+
+    # -- verification of Definition 6 ------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`ModelInvariantError` on any Definition-6 violation.
+
+        Uniqueness holds by construction (dict keys); exclusivity and
+        complementarity are checked together: the predicates are disjoint
+        and cover the universe iff their disjunction equals the universe
+        *and* their cardinalities sum to the universe's.
+        """
+        total = 0
+        union = self.engine.false
+        for pred in self._entries.values():
+            if pred.is_false:
+                raise ModelInvariantError("model contains an empty EC")
+            total += pred.sat_count()
+            union = union | pred
+        if union != self.universe:
+            raise ModelInvariantError("ECs do not cover the universe")
+        if total != self.universe.sat_count():
+            raise ModelInvariantError("ECs are not mutually exclusive")
+
+    # -- reporting ---------------------------------------------------------------
+    def memory_estimate_bytes(self) -> int:
+        """EC table footprint: predicate DAG nodes + PAT nodes (~40 B each)."""
+        pred_nodes = sum(p.node_count() for p in self._entries.values())
+        return pred_nodes * 40 + len(self._entries) * 64
+
+    def __repr__(self) -> str:
+        return f"InverseModel({len(self._entries)} ECs, {len(self.devices)} devices)"

@@ -1,0 +1,80 @@
+"""Parallel subspace verification (§7's "leverage parallelism" extension).
+
+Subspace verifiers share nothing (each has its own engine, model and FIB
+snapshot), so §3.4's input-space partition parallelises embarrassingly:
+one worker process per subspace.  This module provides the §5.5 deployment
+model in miniature — N subspaces over K workers — and is exercised by
+``benchmarks/bench_parallel.py``.
+
+Updates, matches and layouts are plain picklable data; BDD predicates never
+cross process boundaries (each worker builds its own engine).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dataplane.update import RuleUpdate
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match
+from .model_manager import ModelManager
+from .subspace import SubspacePartition
+
+
+@dataclass
+class SubspaceRunStats:
+    """One worker's result."""
+
+    subspace: str
+    seconds: float
+    predicate_ops: int
+    ecs: int
+    updates: int
+
+
+def _run_one(
+    payload: Tuple[List[int], HeaderLayout, str, Match, List[RuleUpdate]]
+) -> SubspaceRunStats:
+    devices, layout, name, subspace_match, updates = payload
+    manager = ModelManager(devices, layout, subspace_match=subspace_match)
+    start = time.perf_counter()
+    manager.submit(updates)
+    manager.flush()
+    return SubspaceRunStats(
+        subspace=name,
+        seconds=time.perf_counter() - start,
+        predicate_ops=manager.engine.counter.total,
+        ecs=manager.num_ecs(),
+        updates=len(updates),
+    )
+
+
+def run_partitioned(
+    devices: Sequence[int],
+    layout: HeaderLayout,
+    partition: SubspacePartition,
+    updates: Sequence[RuleUpdate],
+    processes: Optional[int] = None,
+) -> Tuple[List[SubspaceRunStats], float]:
+    """Run every subspace verifier, optionally across worker processes.
+
+    Returns (per-subspace stats, wall-clock seconds).  ``processes=None``
+    or ``0`` runs sequentially in-process (the baseline); any other value
+    fans subspaces out over a pool.
+    """
+    routed = partition.route_updates(updates)
+    payloads = [
+        (list(devices), layout, s.name, s.match, routed[s.index])
+        for s in partition
+    ]
+    start = time.perf_counter()
+    if not processes:
+        results = [_run_one(p) for p in payloads]
+    else:
+        with multiprocessing.Pool(processes=processes) as pool:
+            results = pool.map(_run_one, payloads)
+    wall = time.perf_counter() - start
+    return results, wall

@@ -1,0 +1,104 @@
+"""Input-space partition (§3.4) — per-subspace verifiers.
+
+Partitioning the header space (e.g. one subspace per pod's destination
+prefixes in LNet) shrinks both the inverse model each verifier maintains and
+the set of rules it must consider, and is what lets Flash run many verifiers
+in parallel.  A :class:`SubspacePartition` owns the defining matches; the
+:func:`route_updates` helper fans an update stream out to the subspaces a
+rule can affect, using the cheap ternary intersection test (no BDD ops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..bdd.predicate import Predicate
+from ..dataplane.update import RuleUpdate
+from ..errors import HeaderSpaceError
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match, MatchCompiler
+from .rule_index import matches_intersect
+
+
+@dataclass(frozen=True)
+class Subspace:
+    """One header subspace, defined structurally by a match."""
+
+    index: int
+    name: str
+    match: Match
+
+
+class SubspacePartition:
+    """A (not necessarily exhaustive) partition of the header space."""
+
+    def __init__(self, layout: HeaderLayout, subspaces: Sequence[Subspace]) -> None:
+        self.layout = layout
+        self.subspaces = list(subspaces)
+        if len({s.index for s in self.subspaces}) != len(self.subspaces):
+            raise HeaderSpaceError("duplicate subspace indexes")
+
+    @classmethod
+    def from_matches(
+        cls, layout: HeaderLayout, matches: Sequence[Tuple[str, Match]]
+    ) -> "SubspacePartition":
+        return cls(
+            layout,
+            [Subspace(i, name, m) for i, (name, m) in enumerate(matches)],
+        )
+
+    @classmethod
+    def dst_prefix_partition(
+        cls,
+        layout: HeaderLayout,
+        prefixes: Sequence[Tuple[int, int]],
+        names: Sequence[str] = (),
+    ) -> "SubspacePartition":
+        """Partition by destination prefixes given as (value, length)."""
+        width = layout.field("dst").width
+        matches = []
+        for i, (value, length) in enumerate(prefixes):
+            name = names[i] if i < len(names) else f"sub{i}"
+            matches.append((name, Match.dst_prefix(value, length, layout)))
+        return cls.from_matches(layout, matches)
+
+    def __len__(self) -> int:
+        return len(self.subspaces)
+
+    def __iter__(self):
+        return iter(self.subspaces)
+
+    def targets_of(self, update: RuleUpdate) -> List[Subspace]:
+        """Subspaces whose defining match overlaps the update's rule match."""
+        return [
+            s
+            for s in self.subspaces
+            if matches_intersect(s.match, update.rule.match)
+        ]
+
+    def route_updates(
+        self, updates: Iterable[RuleUpdate]
+    ) -> Dict[int, List[RuleUpdate]]:
+        """Fan updates out per subspace index."""
+        routed: Dict[int, List[RuleUpdate]] = {s.index: [] for s in self.subspaces}
+        for u in updates:
+            for s in self.targets_of(u):
+                routed[s.index].append(u)
+        return routed
+
+    def universe_of(
+        self, subspace: Subspace, compiler: MatchCompiler
+    ) -> Predicate:
+        """The subspace's universe predicate (for its verifier's model)."""
+        return compiler.compile(subspace.match)
+
+    def check_exhaustive(self, compiler: MatchCompiler) -> bool:
+        """Whether the subspaces cover the full header space (disjointness
+        is not required by the design; overlapping rules are simply fed to
+        several verifiers)."""
+        engine = compiler.engine
+        union = engine.false
+        for s in self.subspaces:
+            union = union | compiler.compile(s.match)
+        return union.is_true

@@ -1,0 +1,41 @@
+"""Data plane substrate: rules, FIB tables, updates and traces."""
+
+from .fib import (
+    FibSnapshot,
+    FibTable,
+    check_well_behaved,
+    enumerate_headers,
+    find_rule_conflicts,
+)
+from .rule import DEFAULT_PRIORITY, DROP, Action, Rule, default_rule, ecmp, next_hops_of
+from .update import (
+    EpochTag,
+    RuleUpdate,
+    UpdateBlock,
+    UpdateOp,
+    apply_updates,
+    delete,
+    insert,
+)
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "DROP",
+    "Action",
+    "Rule",
+    "default_rule",
+    "ecmp",
+    "next_hops_of",
+    "FibSnapshot",
+    "check_well_behaved",
+    "find_rule_conflicts",
+    "FibTable",
+    "enumerate_headers",
+    "EpochTag",
+    "RuleUpdate",
+    "UpdateBlock",
+    "UpdateOp",
+    "apply_updates",
+    "delete",
+    "insert",
+]

@@ -1,0 +1,192 @@
+"""Priority-sorted forwarding tables (the rule-based representation R_i).
+
+:class:`FibTable` keeps rules sorted by priority descending with a stable
+tiebreak (earlier-installed equal-priority rules first), which is the
+ordering Algorithm 1 relies on.  Every table carries an implicit default
+wildcard rule at :data:`~repro.dataplane.rule.DEFAULT_PRIORITY` so the
+forward model is well-behaved (Definition 4: outputs fully specified) and
+the merge scans of Algorithm 1 never run off the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import DataPlaneError, RuleNotFoundError
+from ..headerspace.fields import HeaderLayout
+from .rule import DROP, Action, Rule, default_rule
+
+
+class FibTable:
+    """The forwarding table of one device."""
+
+    def __init__(self, default_action: Action = DROP) -> None:
+        self._rules: List[Rule] = [default_rule(default_action)]
+
+    # -- mutation ----------------------------------------------------------
+    def insert(self, rule: Rule) -> None:
+        """Install a rule; equal-priority rules keep insertion order.
+
+        The new rule is placed *after* existing rules of the same priority
+        (stable tiebreak: earlier rule wins on overlap).
+        """
+        if rule.is_default:
+            raise DataPlaneError("cannot re-install the default rule")
+        index = self._insertion_point(rule.priority)
+        self._rules.insert(index, rule)
+
+    def delete(self, rule: Rule) -> None:
+        """Remove an installed rule (matched by exact equality)."""
+        if rule.is_default:
+            raise DataPlaneError("cannot delete the default rule")
+        for i in range(self._first_at_or_below(rule.priority), len(self._rules)):
+            r = self._rules[i]
+            if r.priority < rule.priority:
+                break
+            if r == rule:
+                del self._rules[i]
+                return
+        raise RuleNotFoundError(f"rule not installed: {rule!r}")
+
+    def _insertion_point(self, priority: int) -> int:
+        """First index whose rule has strictly lower priority."""
+        lo, hi = 0, len(self._rules)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._rules[mid].priority >= priority:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _first_at_or_below(self, priority: int) -> int:
+        """First index whose rule has priority <= the given one."""
+        lo, hi = 0, len(self._rules)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._rules[mid].priority > priority:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- queries -------------------------------------------------------------
+    def rules(self, include_default: bool = True) -> List[Rule]:
+        """Rules sorted by priority descending (default rule last)."""
+        if include_default:
+            return list(self._rules)
+        return self._rules[:-1]
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        """Number of installed rules, excluding the implicit default."""
+        return len(self._rules) - 1
+
+    def __contains__(self, rule: Rule) -> bool:
+        return rule in self._rules
+
+    @property
+    def default_action(self) -> Action:
+        return self._rules[-1].action
+
+    def lookup(self, values: Dict[str, int]) -> Action:
+        """Longest-priority match semantics of §3.1's behavior function."""
+        for rule in self._rules:
+            if rule.match.matches(values):
+                return rule.action
+        raise DataPlaneError("unreachable: default rule always matches")
+
+    def matching_rule(self, values: Dict[str, int]) -> Rule:
+        for rule in self._rules:
+            if rule.match.matches(values):
+                return rule
+        raise DataPlaneError("unreachable: default rule always matches")
+
+    def copy(self) -> "FibTable":
+        table = FibTable.__new__(FibTable)
+        table._rules = list(self._rules)
+        return table
+
+    def __repr__(self) -> str:
+        return f"FibTable({len(self)} rules + default -> {self.default_action!r})"
+
+
+class FibSnapshot:
+    """The forward model R = {R_i} of a whole network."""
+
+    def __init__(
+        self,
+        device_ids: Iterable[int],
+        default_action: Action = DROP,
+    ) -> None:
+        self.tables: Dict[int, FibTable] = {
+            d: FibTable(default_action) for d in device_ids
+        }
+
+    def table(self, device: int) -> FibTable:
+        try:
+            return self.tables[device]
+        except KeyError:
+            raise DataPlaneError(f"no FIB for device {device}") from None
+
+    def devices(self) -> List[int]:
+        return list(self.tables)
+
+    def total_rules(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    def behavior(self, values: Dict[str, int]) -> Dict[int, Action]:
+        """The network-wide behavior vector b_C(h) for a concrete header."""
+        return {d: t.lookup(values) for d, t in self.tables.items()}
+
+    def copy(self) -> "FibSnapshot":
+        snap = FibSnapshot.__new__(FibSnapshot)
+        snap.tables = {d: t.copy() for d, t in self.tables.items()}
+        return snap
+
+    def __repr__(self) -> str:
+        return f"FibSnapshot({len(self.tables)} devices, {self.total_rules()} rules)"
+
+
+def enumerate_headers(layout: HeaderLayout) -> Iterator[Dict[str, int]]:
+    """All concrete headers of a (small) layout — brute-force test helper."""
+    for header in range(layout.universe_size):
+        yield layout.unflatten(header)
+
+
+def find_rule_conflicts(table: FibTable, compiler) -> List[tuple]:
+    """Definition-4 well-behavedness check (footnote 2).
+
+    A data plane has a *syntax error* when two rules overlap at the same
+    priority but disagree on the action — behaviour would depend on
+    installation order.  Returns the offending rule pairs (empty = well
+    behaved); resolving them is the job of tools like FlowVisor, not the
+    verifier.
+    """
+    conflicts = []
+    rules = table.rules(include_default=False)
+    by_priority: Dict[int, List[Rule]] = {}
+    for rule in rules:
+        by_priority.setdefault(rule.priority, []).append(rule)
+    for priority, group in by_priority.items():
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                if a.action == b.action:
+                    continue
+                if compiler.compile(a.match).intersects(compiler.compile(b.match)):
+                    conflicts.append((a, b))
+    return conflicts
+
+
+def check_well_behaved(snapshot: FibSnapshot, compiler) -> None:
+    """Raise :class:`DataPlaneError` if any device has conflicting rules."""
+    for device, table in snapshot.tables.items():
+        conflicts = find_rule_conflicts(table, compiler)
+        if conflicts:
+            a, b = conflicts[0]
+            raise DataPlaneError(
+                f"device {device} has ambiguous same-priority rules: "
+                f"{a!r} vs {b!r} (and {len(conflicts) - 1} more)"
+            )

@@ -1,0 +1,130 @@
+"""Rule updates, update blocks and epoch tags.
+
+A :class:`RuleUpdate` is one native data-plane update: insert or delete one
+rule on one device, optionally tagged with the epoch that produced it (§4.1).
+An :class:`UpdateBlock` groups updates per device for block processing by
+Fast IMT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional
+
+from .rule import Rule
+
+EpochTag = Hashable
+
+
+class UpdateOp(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+
+    def __repr__(self) -> str:  # terse logs
+        return self.value
+
+
+@dataclass(frozen=True)
+class RuleUpdate:
+    """One native forward-model update."""
+
+    op: UpdateOp
+    device: int
+    rule: Rule
+    epoch: Optional[EpochTag] = None
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op is UpdateOp.INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.op is UpdateOp.DELETE
+
+    def with_epoch(self, epoch: EpochTag) -> "RuleUpdate":
+        return RuleUpdate(self.op, self.device, self.rule, epoch)
+
+    def inverse(self) -> "RuleUpdate":
+        op = UpdateOp.DELETE if self.is_insert else UpdateOp.INSERT
+        return RuleUpdate(op, self.device, self.rule, self.epoch)
+
+    def __repr__(self) -> str:
+        return f"RuleUpdate({self.op.value}, dev={self.device}, {self.rule!r})"
+
+
+def insert(device: int, rule: Rule, epoch: Optional[EpochTag] = None) -> RuleUpdate:
+    return RuleUpdate(UpdateOp.INSERT, device, rule, epoch)
+
+
+def delete(device: int, rule: Rule, epoch: Optional[EpochTag] = None) -> RuleUpdate:
+    return RuleUpdate(UpdateOp.DELETE, device, rule, epoch)
+
+
+class UpdateBlock:
+    """A batch of native updates, grouped per device.
+
+    The block also performs the *cancelling-update removal* of Algorithm 1
+    line 1 (insert-after-delete and delete-after-insert pairs annihilate).
+    """
+
+    def __init__(self, updates: Iterable[RuleUpdate] = ()) -> None:
+        self.per_device: Dict[int, List[RuleUpdate]] = {}
+        for u in updates:
+            self.append(u)
+
+    def append(self, update: RuleUpdate) -> None:
+        self.per_device.setdefault(update.device, []).append(update)
+
+    def extend(self, updates: Iterable[RuleUpdate]) -> None:
+        for u in updates:
+            self.append(u)
+
+    def devices(self) -> List[int]:
+        return list(self.per_device)
+
+    def updates_for(self, device: int) -> List[RuleUpdate]:
+        return list(self.per_device.get(device, ()))
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.per_device.values())
+
+    def __iter__(self) -> Iterator[RuleUpdate]:
+        for updates in self.per_device.values():
+            yield from updates
+
+    def is_empty(self) -> bool:
+        return not self.per_device
+
+    def remove_cancelling(self) -> "UpdateBlock":
+        """Drop insert/delete pairs of the same rule (Alg. 1 line 1).
+
+        Later operations cancel earlier opposite operations on the same
+        (device, rule); the *net* effect per rule is kept.
+        """
+        result = UpdateBlock()
+        for device, updates in self.per_device.items():
+            pending: Dict[Rule, List[RuleUpdate]] = {}
+            for u in updates:
+                stack = pending.setdefault(u.rule, [])
+                if stack and stack[-1].op is not u.op:
+                    stack.pop()
+                else:
+                    stack.append(u)
+            for stack in pending.values():  # dicts preserve insertion order
+                for u in stack:
+                    result.append(u)
+        return result
+
+    def __repr__(self) -> str:
+        return f"UpdateBlock({len(self)} updates on {len(self.per_device)} devices)"
+
+
+def apply_updates(snapshot, updates: Iterable[RuleUpdate]) -> None:
+    """Apply native updates to a :class:`~repro.dataplane.fib.FibSnapshot`."""
+    for u in updates:
+        table = snapshot.table(u.device)
+        if u.is_insert:
+            table.insert(u.rule)
+        else:
+            table.delete(u.rule)

@@ -1,0 +1,161 @@
+"""Dataset persistence: topologies, layouts and update traces on disk.
+
+The paper's trace settings load datasets (Stanford, Airtel, Internet2);
+this module gives the reproduction the same workflow — generate once,
+verify many times:
+
+* topologies serialise to JSON (devices with labels, undirected links);
+* header layouts serialise inline;
+* update traces use the JSONL format of :mod:`repro.dataplane.trace`;
+* a *bundle* directory holds all three plus metadata, loadable as a ready
+  verification setting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from .dataplane.trace import read_trace, write_trace
+from .dataplane.update import RuleUpdate
+from .errors import ReproError
+from .headerspace.fields import HeaderLayout
+from .network.topology import Topology
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+
+def topology_to_dict(topology: Topology) -> Dict[str, Any]:
+    devices = []
+    for device in topology.devices():
+        labels = {}
+        for key, value in device.labels.items():
+            if isinstance(value, list):
+                value = [list(v) if isinstance(v, tuple) else v for v in value]
+            labels[key] = value
+        devices.append(
+            {
+                "id": device.device_id,
+                "name": device.name,
+                "kind": device.kind,
+                "labels": labels,
+            }
+        )
+    return {
+        "version": _FORMAT_VERSION,
+        "name": topology.name,
+        "devices": devices,
+        "links": [list(l) for l in topology.links()],
+    }
+
+
+def topology_from_dict(payload: Dict[str, Any]) -> Topology:
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported topology format version {payload.get('version')!r}"
+        )
+    topology = Topology(payload.get("name", "net"))
+    devices = sorted(payload["devices"], key=lambda d: d["id"])
+    for expected_id, spec in enumerate(devices):
+        if spec["id"] != expected_id:
+            raise ReproError("device ids must be dense and start at 0")
+        labels = {}
+        for key, value in spec.get("labels", {}).items():
+            if key == "prefixes" and isinstance(value, list):
+                value = [tuple(v) if isinstance(v, list) else v for v in value]
+            labels[key] = value
+        topology.add_device(spec["name"], kind=spec.get("kind", "switch"), **labels)
+    for u, v in payload["links"]:
+        topology.add_link(u, v)
+    return topology
+
+
+def save_topology(path: str, topology: Topology) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(topology_to_dict(topology), f, indent=1)
+
+
+def load_topology(path: str) -> Topology:
+    with open(path, "r", encoding="utf-8") as f:
+        return topology_from_dict(json.load(f))
+
+
+# ----------------------------------------------------------------------
+# Layout
+# ----------------------------------------------------------------------
+
+def layout_to_dict(layout: HeaderLayout) -> List[List[Any]]:
+    return [[f.name, f.width] for f in layout.fields]
+
+
+def layout_from_dict(payload: List[List[Any]]) -> HeaderLayout:
+    return HeaderLayout([(name, width) for name, width in payload])
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+
+@dataclass
+class DatasetBundle:
+    """A loadable verification dataset: topology + layout + trace."""
+
+    name: str
+    topology: Topology
+    layout: HeaderLayout
+    trace_path: str
+    metadata: Dict[str, Any]
+
+    def updates(self) -> Iterable[RuleUpdate]:
+        return read_trace(self.trace_path)
+
+    def update_count(self) -> int:
+        return self.metadata.get("updates", sum(1 for _ in self.updates()))
+
+
+def save_bundle(
+    directory: str,
+    name: str,
+    topology: Topology,
+    layout: HeaderLayout,
+    updates: List[RuleUpdate],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write a dataset bundle; returns the bundle directory."""
+    os.makedirs(directory, exist_ok=True)
+    save_topology(os.path.join(directory, "topology.json"), topology)
+    count = write_trace(os.path.join(directory, "trace.jsonl"), updates)
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "name": name,
+        "layout": layout_to_dict(layout),
+        "updates": count,
+        "metadata": metadata or {},
+    }
+    with open(os.path.join(directory, "manifest.json"), "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=1)
+    return directory
+
+
+def load_bundle(directory: str) -> DatasetBundle:
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        raise ReproError(f"no manifest in {directory!r}")
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise ReproError(f"unsupported bundle version {manifest.get('version')!r}")
+    topology = load_topology(os.path.join(directory, "topology.json"))
+    return DatasetBundle(
+        name=manifest["name"],
+        topology=topology,
+        layout=layout_from_dict(manifest["layout"]),
+        trace_path=os.path.join(directory, "trace.jsonl"),
+        metadata={"updates": manifest.get("updates"), **manifest.get("metadata", {})},
+    )

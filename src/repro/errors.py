@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Flash reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class HeaderSpaceError(ReproError):
+    """A match or field definition is inconsistent with the header layout."""
+
+
+class DataPlaneError(ReproError):
+    """The forward model is malformed (e.g. conflicting rules, bad update)."""
+
+
+class RuleNotFoundError(DataPlaneError):
+    """A deletion referenced a rule that is not installed."""
+
+
+class ModelInvariantError(ReproError):
+    """An inverse model violated one of the Definition-6 invariants."""
+
+
+class OverwriteConflictError(ReproError):
+    """Two conflict-free overwrites actually conflict (Definition in 3.2)."""
+
+
+class SpecError(ReproError):
+    """The requirement specification could not be parsed or compiled."""
+
+
+class TopologyError(ReproError):
+    """The topology is malformed (unknown device, duplicate link, ...)."""
+
+
+class DispatchError(ReproError):
+    """The CE2D dispatcher received updates violating its ordering contract."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event routing simulation hit an inconsistent state."""

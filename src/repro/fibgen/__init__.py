@@ -1,0 +1,21 @@
+"""FIB generators for the paper's data-plane patterns (Table 2)."""
+
+from .addressing import PrefixAssignment, assign_rack_prefixes, rack_destinations
+from .ecmp import source_match_ecmp_fib, std_fib_ecmp
+from .planning import PlanningScenario, pod_addition_scenario
+from .shortest_path import apsp_fib, std_fib
+from .suffix import std_fib_suffix, suffix_match_fib
+
+__all__ = [
+    "PrefixAssignment",
+    "assign_rack_prefixes",
+    "rack_destinations",
+    "source_match_ecmp_fib",
+    "std_fib_ecmp",
+    "PlanningScenario",
+    "pod_addition_scenario",
+    "apsp_fib",
+    "std_fib",
+    "std_fib_suffix",
+    "suffix_match_fib",
+]

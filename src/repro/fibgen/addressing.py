@@ -1,0 +1,59 @@
+"""Prefix assignment for generated networks.
+
+Every rack/destination gets a destination prefix carved out of the ``dst``
+field.  The assignment is dense and deterministic: destination *k* of *n*
+owns the prefix ``k << (width - plen)`` with ``plen = ceil(log2 n)`` —
+mirroring how data-center fabrics allocate rack subnets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import HeaderSpaceError
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match
+from ..network.topology import Topology
+
+
+@dataclass(frozen=True)
+class PrefixAssignment:
+    """A destination device and its (value, length) prefix."""
+
+    device: int
+    value: int
+    length: int
+
+    def match(self, layout: HeaderLayout) -> Match:
+        return Match.dst_prefix(self.value, self.length, layout)
+
+
+def assign_rack_prefixes(
+    topology: Topology, layout: HeaderLayout, destinations: Sequence[int]
+) -> List[PrefixAssignment]:
+    """Assign one dst prefix per destination device, densely packed."""
+    width = layout.field("dst").width
+    n = len(destinations)
+    if n == 0:
+        return []
+    plen = max(1, (n - 1).bit_length())
+    if plen > width:
+        raise HeaderSpaceError(
+            f"{n} destinations do not fit in a {width}-bit dst field"
+        )
+    assignments = []
+    for k, device in enumerate(destinations):
+        value = k << (width - plen)
+        assignments.append(PrefixAssignment(device, value, plen))
+        prefixes = topology.device(device).labels.setdefault("prefixes", [])
+        prefixes.append((value, plen))
+    return assignments
+
+
+def rack_destinations(topology: Topology) -> List[int]:
+    """The virtual rack nodes of a fabric topology (fall back to ToRs)."""
+    racks = topology.externals()
+    if racks:
+        return racks
+    return topology.select(role="tor")

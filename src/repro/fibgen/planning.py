@@ -1,0 +1,104 @@
+"""Network-planning update storms (Appendix A, Figure 15).
+
+The planning study connects a new pod to a K-ary fat-tree data center with
+P prefixes per pod and measures |R| (total rules after the change) and |ΔR|
+(modified rules) — the storm a simulation-validation verifier must absorb.
+
+We rebuild that scenario: generate the fat tree with ``pods`` active pods,
+compute the StdFIB, then activate one more pod and diff the FIBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..dataplane.rule import Rule
+from ..dataplane.update import RuleUpdate, delete, insert
+from ..headerspace.fields import HeaderLayout, dst_only_layout
+from ..network.generators import fat_tree
+from ..network.topology import Topology
+from .addressing import PrefixAssignment
+from .shortest_path import apsp_fib
+
+
+@dataclass
+class PlanningScenario:
+    """One pod-addition planning run (a row of Figure 15's table)."""
+
+    k: int
+    prefixes_per_pod: int
+    topology: Topology
+    layout: HeaderLayout
+    before: Dict[int, List[Rule]]
+    after: Dict[int, List[Rule]]
+    updates: List[RuleUpdate]
+
+    @property
+    def total_rules_after(self) -> int:
+        return sum(len(rs) for rs in self.after.values())
+
+    @property
+    def num_updates(self) -> int:
+        return len(self.updates)
+
+
+def _pod_prefix_assignments(
+    topology: Topology,
+    layout: HeaderLayout,
+    active_pods: Sequence[int],
+    prefixes_per_pod: int,
+    total_pods: int,
+) -> List[PrefixAssignment]:
+    """Deterministic prefixes: pod p, index i → (p * P + i) aligned block."""
+    width = layout.field("dst").width
+    total = total_pods * prefixes_per_pod
+    plen = max(1, (total - 1).bit_length())
+    assignments: List[PrefixAssignment] = []
+    for pod in active_pods:
+        tors = topology.select(role="tor", pod=pod)
+        for i in range(prefixes_per_pod):
+            tor = tors[i % len(tors)]
+            value = (pod * prefixes_per_pod + i) << (width - plen)
+            assignments.append(PrefixAssignment(tor, value, plen))
+    return assignments
+
+
+def _diff_fibs(
+    before: Dict[int, List[Rule]], after: Dict[int, List[Rule]]
+) -> List[RuleUpdate]:
+    updates: List[RuleUpdate] = []
+    devices = set(before) | set(after)
+    for device in sorted(devices):
+        old = set(before.get(device, ()))
+        new = set(after.get(device, ()))
+        updates.extend(delete(device, r) for r in sorted(old - new, key=repr))
+        updates.extend(insert(device, r) for r in sorted(new - old, key=repr))
+    return updates
+
+
+def pod_addition_scenario(
+    k: int, prefixes_per_pod: int, dst_width: int = 24
+) -> PlanningScenario:
+    """Connect pod ``k-1`` of a K-ary fat tree that ran with k-1 pods."""
+    layout = dst_only_layout(dst_width)
+    topology = fat_tree(k)
+    old_pods = list(range(k - 1))
+    new_pods = list(range(k))
+    before_assign = _pod_prefix_assignments(
+        topology, layout, old_pods, prefixes_per_pod, k
+    )
+    after_assign = _pod_prefix_assignments(
+        topology, layout, new_pods, prefixes_per_pod, k
+    )
+    before = apsp_fib(topology, layout, before_assign)
+    after = apsp_fib(topology, layout, after_assign)
+    return PlanningScenario(
+        k=k,
+        prefixes_per_pod=prefixes_per_pod,
+        topology=topology,
+        layout=layout,
+        before=before,
+        after=after,
+        updates=_diff_fibs(before, after),
+    )

@@ -1,0 +1,52 @@
+"""StdFIB generation (Table 2, LNet-apsp): all-pair shortest-path FIBs.
+
+"Shortest path from each node to the hosts connected to the rack switches":
+for every destination prefix, every switch installs one rule forwarding
+toward the prefix's rack along a shortest path.  When several equal-cost
+next hops exist, the single-path variant picks the smallest device id (the
+ECMP variant lives in :mod:`repro.fibgen.ecmp`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..dataplane.rule import Rule, ecmp as make_ecmp
+from ..headerspace.fields import HeaderLayout
+from ..network.topology import Topology
+from .addressing import PrefixAssignment, assign_rack_prefixes, rack_destinations
+
+
+def apsp_fib(
+    topology: Topology,
+    layout: HeaderLayout,
+    assignments: Sequence[PrefixAssignment],
+    priority: int = 1,
+    use_ecmp: bool = False,
+) -> Dict[int, List[Rule]]:
+    """Per-switch StdFIB rules for the given prefix assignments.
+
+    Returns device → rules; destinations themselves install no rule for
+    their own prefix, and unreachable switches skip the prefix.
+    """
+    rules: Dict[int, List[Rule]] = {s: [] for s in topology.switches()}
+    for assignment in assignments:
+        next_hops = topology.shortest_path_tree(assignment.device)
+        match = assignment.match(layout)
+        for switch in topology.switches():
+            hops = next_hops.get(switch)
+            if not hops:
+                continue  # the destination itself, or unreachable
+            action = make_ecmp(*hops) if use_ecmp else hops[0]
+            rules[switch].append(Rule(priority, match, action))
+    return rules
+
+
+def std_fib(
+    topology: Topology, layout: HeaderLayout, use_ecmp: bool = False
+) -> Dict[int, List[Rule]]:
+    """Assign rack prefixes and build the StdFIB in one call."""
+    assignments = assign_rack_prefixes(
+        topology, layout, rack_destinations(topology)
+    )
+    return apsp_fib(topology, layout, assignments, use_ecmp=use_ecmp)

@@ -1,0 +1,239 @@
+"""Rule matches: per-field patterns with BDD and interval conversions.
+
+A :class:`Match` is the ``match`` component of a forwarding rule — a
+predicate over the header space, expressed structurally as one pattern per
+field (absent fields are wildcards).  The same match can be compiled two
+ways:
+
+* to a BDD :class:`~repro.bdd.predicate.Predicate` (Flash, APKeep*);
+* to an :class:`~repro.headerspace.intervals.IntervalSet` over the flattened
+  header integer (Delta-net*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.predicate import Predicate, PredicateEngine
+from ..errors import HeaderSpaceError
+from .fields import HeaderLayout
+from .intervals import IntervalSet, ternary_to_intervals
+
+Ternary = Tuple[int, int]  # (value, mask): matches x iff x & mask == value & mask
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A single-field ternary/range pattern.
+
+    Exactly one canonical internal form is kept: a tuple of ternaries
+    (value, mask).  Prefix and exact patterns are one ternary; ranges
+    decompose into the minimal prefix cover.
+    """
+
+    ternaries: Tuple[Ternary, ...]
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def exact(cls, value: int, width: int) -> "Pattern":
+        mask = (1 << width) - 1
+        return cls(((value & mask, mask),))
+
+    @classmethod
+    def prefix(cls, value: int, length: int, width: int) -> "Pattern":
+        if not 0 <= length <= width:
+            raise HeaderSpaceError(f"prefix length {length} out of [0, {width}]")
+        mask = ((1 << length) - 1) << (width - length) if length else 0
+        return cls(((value & mask, mask),))
+
+    @classmethod
+    def ternary(cls, value: int, mask: int, width: int) -> "Pattern":
+        full = (1 << width) - 1
+        return cls(((value & mask & full, mask & full),))
+
+    @classmethod
+    def suffix(cls, value: int, length: int, width: int) -> "Pattern":
+        """Match the low ``length`` bits — the LNet-smr rule shape."""
+        if not 0 <= length <= width:
+            raise HeaderSpaceError(f"suffix length {length} out of [0, {width}]")
+        mask = (1 << length) - 1
+        return cls(((value & mask, mask),))
+
+    @classmethod
+    def range(cls, lo: int, hi: int, width: int) -> "Pattern":
+        """Minimal prefix cover of the inclusive range [lo, hi]."""
+        if lo > hi:
+            raise HeaderSpaceError(f"bad range [{lo}, {hi}]")
+        full = (1 << width) - 1
+        if not 0 <= lo <= hi <= full:
+            raise HeaderSpaceError(f"range [{lo}, {hi}] outside field width")
+        ternaries: List[Ternary] = []
+        while lo <= hi:
+            # Largest aligned block starting at lo that fits in [lo, hi].
+            size = lo & -lo if lo else full + 1
+            while lo + size - 1 > hi:
+                size >>= 1
+            ternaries.append((lo, full & ~(size - 1)))
+            lo += size
+        return cls(tuple(ternaries))
+
+    # -- queries ---------------------------------------------------------
+    def matches(self, value: int) -> bool:
+        return any(value & mask == tv for tv, mask in self.ternaries)
+
+    def is_wildcard(self, width: int) -> bool:
+        return any(mask == 0 for _, mask in self.ternaries)
+
+    def to_intervals(self, width: int, max_intervals: int = 1 << 20) -> IntervalSet:
+        out: List[Tuple[int, int]] = []
+        for value, mask in self.ternaries:
+            out.extend(ternary_to_intervals(value, mask, width, max_intervals))
+        return IntervalSet(out)
+
+
+class Match:
+    """A conjunction of per-field patterns; absent fields are wildcards."""
+
+    __slots__ = ("patterns", "_key")
+
+    def __init__(self, patterns: Dict[str, Pattern]) -> None:
+        self.patterns: Dict[str, Pattern] = dict(patterns)
+        self._key = tuple(sorted(self.patterns.items(), key=lambda kv: kv[0]))
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def wildcard(cls) -> "Match":
+        return cls({})
+
+    @classmethod
+    def dst_prefix(cls, value: int, length: int, layout: HeaderLayout) -> "Match":
+        width = layout.field("dst").width
+        return cls({"dst": Pattern.prefix(value, length, width)})
+
+    @classmethod
+    def exact(cls, layout: HeaderLayout, **values: int) -> "Match":
+        return cls(
+            {
+                name: Pattern.exact(v, layout.field(name).width)
+                for name, v in values.items()
+            }
+        )
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def is_wildcard(self) -> bool:
+        return not self.patterns
+
+    def pattern(self, field: str) -> Optional[Pattern]:
+        return self.patterns.get(field)
+
+    def matches(self, values: Dict[str, int]) -> bool:
+        """Whether a concrete header (field → value) satisfies this match."""
+        return all(
+            p.matches(values.get(field, 0)) for field, p in self.patterns.items()
+        )
+
+    def matches_header(self, header: int, layout: HeaderLayout) -> bool:
+        return self.matches(layout.unflatten(header))
+
+    # -- compilation -----------------------------------------------------
+    def to_predicate(self, engine: PredicateEngine, layout: HeaderLayout) -> Predicate:
+        """Compile to a BDD predicate (un-memoized; see MatchCompiler)."""
+        result = engine.true
+        for field, pattern in self.patterns.items():
+            f = layout.field(field)
+            base = layout.offset(field)
+            alt = engine.false
+            for value, mask in pattern.ternaries:
+                literals = [
+                    (base + i, bool((value >> (f.width - 1 - i)) & 1))
+                    for i in range(f.width)
+                    if (mask >> (f.width - 1 - i)) & 1
+                ]
+                alt = alt | engine.cube(literals)
+            result = result & alt
+        return result
+
+    def to_interval_set(
+        self, layout: HeaderLayout, max_intervals: int = 1 << 20
+    ) -> IntervalSet:
+        """Compile to intervals of the flattened header integer.
+
+        Fields are combined most-significant first.  When a constrained field
+        sits above other constrained fields, values must be enumerated —
+        this is the multi-field expansion cost the paper's Delta-net*
+        extension pays on LNet-ecmp.
+        """
+        per_field: List[IntervalSet] = []
+        for f in layout.fields:
+            pattern = self.patterns.get(f.name)
+            if pattern is None:
+                per_field.append(IntervalSet.universe(1 << f.width))
+            else:
+                per_field.append(pattern.to_intervals(f.width, max_intervals))
+        widths = [f.width for f in layout.fields]
+
+        def combine(index: int) -> IntervalSet:
+            if index == len(per_field):
+                return IntervalSet.single(0, 0)
+            rest_bits = sum(widths[index + 1 :])
+            rest_size = 1 << rest_bits
+            sub = combine(index + 1)
+            field_ivals = per_field[index]
+            full_sub = sub == IntervalSet.universe(rest_size)
+            out: List[Tuple[int, int]] = []
+            for lo, hi in field_ivals:
+                if full_sub:
+                    out.append((lo << rest_bits, ((hi + 1) << rest_bits) - 1))
+                else:
+                    span = hi - lo + 1
+                    if span * len(sub) > max_intervals:
+                        raise HeaderSpaceError(
+                            "multi-field match expands beyond max_intervals"
+                        )
+                    for v in range(lo, hi + 1):
+                        head = v << rest_bits
+                        out.extend((head | slo, head | shi) for slo, shi in sub)
+            if len(out) > max_intervals:
+                raise HeaderSpaceError(
+                    "match expands beyond max_intervals intervals"
+                )
+            return IntervalSet(out)
+
+        return combine(0)
+
+    # -- identity ----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Match) and other._key == self._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        if not self.patterns:
+            return "Match(*)"
+        parts = []
+        for field, pattern in self._key:
+            terns = ",".join(f"{v:x}/{m:x}" for v, m in pattern.ternaries)
+            parts.append(f"{field}={terns}")
+        return f"Match({' '.join(parts)})"
+
+
+class MatchCompiler:
+    """Memoizing Match → Predicate compiler bound to one engine/layout."""
+
+    def __init__(self, engine: PredicateEngine, layout: HeaderLayout) -> None:
+        self.engine = engine
+        self.layout = layout
+        self._cache: Dict[Match, Predicate] = {}
+
+    def compile(self, match: Match) -> Predicate:
+        pred = self._cache.get(match)
+        if pred is None:
+            pred = match.to_predicate(self.engine, self.layout)
+            self._cache[match] = pred
+        return pred
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,32 @@
+"""Topology substrate: device/link model plus evaluation-topology generators."""
+
+from .generators import (
+    airtel,
+    fabric,
+    fat_tree,
+    figure3_example,
+    grid,
+    internet2,
+    line,
+    ring,
+    stanford,
+    three_node_example,
+)
+from .topology import EXTERNAL, SWITCH, Device, Topology
+
+__all__ = [
+    "EXTERNAL",
+    "SWITCH",
+    "Device",
+    "Topology",
+    "airtel",
+    "fabric",
+    "fat_tree",
+    "figure3_example",
+    "grid",
+    "internet2",
+    "line",
+    "ring",
+    "stanford",
+    "three_node_example",
+]

@@ -1,0 +1,219 @@
+"""A path-vector (BGP-like) control plane with causal metadata (App. D.1).
+
+Sync-state protocols let Flash hash the shared network state into an epoch
+tag; vector protocols have no shared state, so Appendix D.1 instead appends
+*causal-relation* information to every FIB update: what message was the
+direct cause, and what messages were sent as the immediate consequence.
+A centralized convergence detector (:mod:`repro.ce2d.causal`) then decides
+which updates belong to the same root event and when that event's wave has
+quiesced.
+
+The simulator here is a deliberately small BGP: per-prefix best-path
+selection by (path length, neighbor id), immediate advertisement to
+neighbors, withdrawal on loss, and hop-by-hop message delays on the shared
+:class:`~repro.routing.events.EventLoop`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dataplane.rule import Rule
+from ..dataplane.update import RuleUpdate, delete, insert
+from ..errors import SimulationError
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match
+from ..network.topology import Topology
+from .events import EventLoop
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """One BGP message: an advertisement or withdrawal of a prefix route."""
+
+    msg_id: int
+    root_event: int
+    sender: int
+    prefix: Tuple[int, int]  # (value, length)
+    path: Tuple[int, ...]    # AS path, origin last; empty = withdrawal
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return not self.path
+
+
+@dataclass
+class CausalRecord:
+    """The Appendix-D.1 metadata attached to each FIB update batch."""
+
+    device: int
+    root_event: int
+    consumed: Tuple[int, ...]   # message ids that caused this computation
+    emitted: Tuple[int, ...]    # message ids sent as immediate consequence
+    updates: List[RuleUpdate]
+    time: float
+
+
+class BgpNode:
+    """One router's RIB/FIB and best-path selection."""
+
+    def __init__(self, sim: "BgpSimulation", node_id: int) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        # Per prefix: neighbor → path learned from that neighbor.
+        self.rib: Dict[Tuple[int, int], Dict[int, Tuple[int, ...]]] = {}
+        self.best: Dict[Tuple[int, int], Optional[int]] = {}
+        self.fib: Dict[Tuple[int, int], Rule] = {}
+
+    def originate(self, prefix: Tuple[int, int], root: int) -> None:
+        self.rib.setdefault(prefix, {})[self.node_id] = (self.node_id,)
+        self._reselect(prefix, root, consumed=())
+
+    def on_message(self, message: Announcement) -> None:
+        prefix = message.prefix
+        table = self.rib.setdefault(prefix, {})
+        if message.is_withdrawal:
+            table.pop(message.sender, None)
+        elif self.node_id in message.path:
+            table.pop(message.sender, None)  # loop prevention
+        else:
+            table[message.sender] = message.path
+        self._reselect(prefix, message.root_event, consumed=(message.msg_id,))
+
+    def _reselect(
+        self, prefix: Tuple[int, int], root: int, consumed: Tuple[int, ...]
+    ) -> None:
+        table = self.rib.get(prefix, {})
+        old_best = self.best.get(prefix)
+        if table:
+            new_best = min(table, key=lambda n: (len(table[n]), n))
+        else:
+            new_best = None
+        self.best[prefix] = new_best
+        updates: List[RuleUpdate] = []
+        old_rule = self.fib.get(prefix)
+        new_rule: Optional[Rule] = None
+        if new_best is not None and new_best != self.node_id:
+            match = Match.dst_prefix(prefix[0], prefix[1], self.sim.layout)
+            new_rule = Rule(1, match, new_best)
+        if old_rule != new_rule:
+            if old_rule is not None:
+                updates.append(delete(self.node_id, old_rule, epoch=root))
+            if new_rule is not None:
+                updates.append(insert(self.node_id, new_rule, epoch=root))
+            if new_rule is None:
+                self.fib.pop(prefix, None)
+            else:
+                self.fib[prefix] = new_rule
+        emitted: Tuple[int, ...] = ()
+        best_changed = new_best != old_best or (
+            new_best is not None
+            and table.get(new_best) != getattr(self, "_advertised", {}).get(prefix)
+        )
+        if best_changed:
+            emitted = self._advertise(prefix, root)
+        # Every processed message yields a causal record, even when the FIB
+        # did not change — the detector needs to see the consumption.
+        if consumed or updates or emitted:
+            self.sim.report(
+                CausalRecord(
+                    device=self.node_id,
+                    root_event=root,
+                    consumed=consumed,
+                    emitted=emitted,
+                    updates=updates,
+                    time=self.sim.loop.now,
+                )
+            )
+
+    def _advertise(self, prefix: Tuple[int, int], root: int) -> Tuple[int, ...]:
+        advertised = getattr(self, "_advertised", None)
+        if advertised is None:
+            advertised = {}
+            self._advertised = advertised
+        best = self.best.get(prefix)
+        if best is None or best == self.node_id:
+            path = self.rib.get(prefix, {}).get(self.node_id)
+        else:
+            path = self.rib[prefix][best]
+        advertised[prefix] = path
+        emitted: List[int] = []
+        for neighbor in self.sim.topology.neighbors(self.node_id):
+            if self.sim.topology.device(neighbor).is_external:
+                continue
+            if path is None:
+                message_path: Tuple[int, ...] = ()
+            else:
+                message_path = (self.node_id, *path)
+            msg = Announcement(
+                msg_id=self.sim.next_msg_id(),
+                root_event=root,
+                sender=self.node_id,
+                prefix=prefix,
+                path=message_path,
+            )
+            emitted.append(msg.msg_id)
+            self.sim.deliver(neighbor, msg)
+        return tuple(emitted)
+
+
+class BgpSimulation:
+    """The whole BGP network plus event injection."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        layout: HeaderLayout,
+        message_delay: float = 0.005,
+    ) -> None:
+        self.topology = topology
+        self.layout = layout
+        self.loop = EventLoop()
+        self.message_delay = message_delay
+        self.nodes: Dict[int, BgpNode] = {
+            s: BgpNode(self, s) for s in topology.switches()
+        }
+        self.records: List[CausalRecord] = []
+        self.collectors: List[Callable[[CausalRecord], None]] = []
+        self._msg_counter = itertools.count(1)
+        self._event_counter = itertools.count(1)
+
+    def next_msg_id(self) -> int:
+        return next(self._msg_counter)
+
+    def add_collector(self, collector: Callable[[CausalRecord], None]) -> None:
+        self.collectors.append(collector)
+
+    def report(self, record: CausalRecord) -> None:
+        self.records.append(record)
+        for collector in self.collectors:
+            collector(record)
+
+    def deliver(self, target: int, message: Announcement) -> None:
+        node = self.nodes[target]
+        self.loop.schedule(self.message_delay, lambda: node.on_message(message))
+
+    # -- events ------------------------------------------------------------
+    def announce_prefix(self, owner: int, prefix: Tuple[int, int]) -> int:
+        """Originate a prefix at a router; returns the root event id."""
+        if owner not in self.nodes:
+            raise SimulationError(f"unknown router {owner}")
+        root = next(self._event_counter)
+        self.loop.schedule(0.0, lambda: self.nodes[owner].originate(prefix, root))
+        return root
+
+    def withdraw_prefix(self, owner: int, prefix: Tuple[int, int]) -> int:
+        root = next(self._event_counter)
+
+        def fire() -> None:
+            node = self.nodes[owner]
+            node.rib.get(prefix, {}).pop(owner, None)
+            node._reselect(prefix, root, consumed=())
+
+        self.loop.schedule(0.0, fire)
+        return root
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.loop.run(until=until)

@@ -1,0 +1,61 @@
+"""A minimal discrete-event simulator (the Mininet substitute's clock).
+
+Virtual time is in seconds.  Events fire in (time, sequence) order, so
+same-time events keep FIFO semantics — important for the serialised
+agent→dispatcher channels CE2D assumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class EventLoop:
+    """A heap-driven virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._running = False
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Drain the queue (optionally up to virtual time ``until``).
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            callback()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError("event budget exhausted (livelock?)")
+        if until is not None and until > self.now:
+            self.now = until
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,88 @@
+"""A broadcast state-synchronisation protocol (OpenR's KV store, §4.1).
+
+Every node keeps a key-value store of link states keyed by the link's
+canonical name with a monotonically increasing version.  Changes flood to
+neighbors over live links with per-hop delays; receivers merge by version
+and re-flood what changed.  The epoch tag of a store is the hash of its
+(key, version) pairs — exactly the device agent of §4.1 (footnote 6).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+LinkKey = Tuple[int, int]
+
+
+def link_key(u: int, v: int) -> LinkKey:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """One KV entry: a link's version and liveness."""
+
+    version: int
+    up: bool
+
+
+class KvStore:
+    """One node's view of the global link state."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[LinkKey, LinkState] = {}
+
+    def seed(self, links: Iterable[LinkKey]) -> None:
+        for key in links:
+            self._entries[key] = LinkState(version=0, up=True)
+
+    def get(self, key: LinkKey) -> Optional[LinkState]:
+        return self._entries.get(key)
+
+    def merge(self, key: LinkKey, state: LinkState) -> bool:
+        """Adopt ``state`` if newer; returns True when the store changed."""
+        current = self._entries.get(key)
+        if current is None or state.version > current.version:
+            self._entries[key] = state
+            return True
+        return False
+
+    def is_up(self, key: LinkKey) -> bool:
+        state = self._entries.get(key)
+        return state is not None and state.up
+
+    def items(self) -> List[Tuple[LinkKey, LinkState]]:
+        return sorted(self._entries.items())
+
+    def epoch_tag(self, num_hashes: int = 1) -> str:
+        """Hash of all (key, version) pairs — the §4.1 epoch tag.
+
+        Footnote 6: to reduce the probability of hash collisions, Flash may
+        use multiple hash functions and concatenate the results —
+        ``num_hashes`` > 1 concatenates salted digests.
+        """
+        parts = []
+        for salt in range(num_hashes):
+            digest = hashlib.sha256()
+            if salt:
+                digest.update(f"salt{salt}|".encode())
+            for key, state in self.items():
+                digest.update(f"{key[0]}-{key[1]}:{state.version};".encode())
+            parts.append(digest.hexdigest()[:16])
+        return "-".join(parts)
+
+    def up_links(self) -> Set[LinkKey]:
+        return {k for k, s in self._entries.items() if s.up}
+
+    def copy(self) -> "KvStore":
+        store = KvStore()
+        store._entries = dict(self._entries)
+        return store
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KvStore) and other._entries == self._entries
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(tuple(self.items()))

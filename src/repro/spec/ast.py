@@ -1,0 +1,171 @@
+"""AST for the declarative requirement language (Appendix B, Figure 16).
+
+A requirement is ``(packet_space, sources, P)`` where ``P`` is a path-set
+expression: a regular expression over *hops* combined with set operators
+(``and`` / ``or`` / ``not`` / ``cover``).  Hops select devices by id, by
+label, or wildcard; ``>`` selects packet-destination nodes (virtual external
+nodes owning prefixes of the packet space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..network.topology import Device
+
+# ----------------------------------------------------------------------
+# Hop selectors
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HopSelector:
+    """Base class: a predicate over devices."""
+
+    def matches(self, device: Device, context: "SelectorContext") -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ById(HopSelector):
+    """``ID`` — select one device by name."""
+
+    name: str
+
+    def matches(self, device: Device, context: "SelectorContext") -> bool:
+        return device.name == self.name
+
+
+@dataclass(frozen=True)
+class ByLabel(HopSelector):
+    """``[label op value]`` — select devices by label."""
+
+    label: str
+    op: str  # '=', 'contains', 'matches'
+    value: str
+
+    def matches(self, device: Device, context: "SelectorContext") -> bool:
+        actual = device.label(self.label)
+        if actual is None:
+            return False
+        if self.op == "=":
+            return str(actual) == self.value
+        if self.op == "contains":
+            return self.value in str(actual)
+        if self.op == "matches":
+            import re
+
+            return re.fullmatch(self.value, str(actual)) is not None
+        raise ValueError(f"unknown label op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class AnyHop(HopSelector):
+    """``.`` — any device."""
+
+    def matches(self, device: Device, context: "SelectorContext") -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Destination(HopSelector):
+    """``>`` — a node owning a prefix of the requirement's packet space."""
+
+    def matches(self, device: Device, context: "SelectorContext") -> bool:
+        return context.is_destination(device)
+
+
+@dataclass(frozen=True)
+class OneOf(HopSelector):
+    """``[A|B|C]`` — any of several selectors."""
+
+    options: Tuple[HopSelector, ...]
+
+    def matches(self, device: Device, context: "SelectorContext") -> bool:
+        return any(o.matches(device, context) for o in self.options)
+
+
+class SelectorContext:
+    """Run-time context for selectors: which devices are destinations."""
+
+    def __init__(self, destination_ids: Optional[frozenset] = None) -> None:
+        self.destination_ids = destination_ids or frozenset()
+
+    def is_destination(self, device: Device) -> bool:
+        return device.device_id in self.destination_ids
+
+
+# ----------------------------------------------------------------------
+# Path regular expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """Base class of path regular expressions."""
+
+
+@dataclass(frozen=True)
+class Hop(PathExpr):
+    """A single hop matching a selector."""
+
+    selector: HopSelector
+
+
+@dataclass(frozen=True)
+class Repeat(PathExpr):
+    """``e*`` — zero or more repetitions."""
+
+    inner: PathExpr
+
+
+@dataclass(frozen=True)
+class Concat(PathExpr):
+    parts: Tuple[PathExpr, ...]
+
+
+@dataclass(frozen=True)
+class Union(PathExpr):
+    options: Tuple[PathExpr, ...]
+
+
+# ----------------------------------------------------------------------
+# Path-set combinators
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathSet:
+    """Base class of path-set expressions (the grammar's ``P``)."""
+
+
+@dataclass(frozen=True)
+class RegexSet(PathSet):
+    """A path set described by one path regular expression."""
+
+    regex: PathExpr
+
+
+@dataclass(frozen=True)
+class AndSet(PathSet):
+    left: PathSet
+    right: PathSet
+
+
+@dataclass(frozen=True)
+class OrSet(PathSet):
+    left: PathSet
+    right: PathSet
+
+
+@dataclass(frozen=True)
+class NotSet(PathSet):
+    inner: PathSet
+
+
+@dataclass(frozen=True)
+class CoverSet(PathSet):
+    """``cover P`` — ALL paths in P must be installed (App. D.2)."""
+
+    inner: PathSet

@@ -1,0 +1,226 @@
+"""Compilation of path expressions into automata (§4.2's automata theory).
+
+Path regular expressions compile to Thompson NFAs whose transitions carry
+:class:`~repro.spec.ast.HopSelector` guards; verification composes them with
+the network graph.  The :class:`PathAutomaton` interface exposes on-the-fly
+determinized states (hashable), so the product graph construction, set
+combinators (and/or/not) and whole-path matching all work uniformly:
+
+* ``and``  → pairwise product automaton,
+* ``or``   → pairwise product (accept if either side accepts),
+* ``not``  → acceptance complement of the determinized automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from ..errors import SpecError
+from ..network.topology import Device
+from .ast import (
+    AndSet,
+    Concat,
+    CoverSet,
+    Hop,
+    HopSelector,
+    NotSet,
+    OrSet,
+    PathExpr,
+    PathSet,
+    RegexSet,
+    Repeat,
+    SelectorContext,
+    Union,
+)
+
+State = Hashable
+
+
+class PathAutomaton:
+    """A deterministic automaton over device sequences (paths)."""
+
+    def start(self) -> State:
+        raise NotImplementedError
+
+    def step(self, state: State, device: Device, context: SelectorContext) -> State:
+        raise NotImplementedError
+
+    def accepting(self, state: State) -> bool:
+        raise NotImplementedError
+
+    def is_dead(self, state: State) -> bool:
+        """Whether no extension of the path can ever be accepted."""
+        return False
+
+    def matches(self, path: List[Device], context: SelectorContext) -> bool:
+        state = self.start()
+        for device in path:
+            state = self.step(state, device, context)
+        return self.accepting(state)
+
+
+# ----------------------------------------------------------------------
+# Thompson NFA for a PathExpr
+# ----------------------------------------------------------------------
+
+
+class _Nfa:
+    """ε-NFA with selector-guarded transitions."""
+
+    def __init__(self) -> None:
+        self.transitions: List[List[Tuple[Optional[HopSelector], int]]] = []
+        self.start_state = self._new_state()
+        self.accept_state = self._new_state()
+
+    def _new_state(self) -> int:
+        self.transitions.append([])
+        return len(self.transitions) - 1
+
+    def add(self, src: int, guard: Optional[HopSelector], dst: int) -> None:
+        self.transitions[src].append((guard, dst))
+
+
+def _build(nfa: _Nfa, expr: PathExpr, entry: int, exit_: int) -> None:
+    if isinstance(expr, Hop):
+        nfa.add(entry, expr.selector, exit_)
+    elif isinstance(expr, Concat):
+        current = entry
+        for part in expr.parts[:-1]:
+            mid = nfa._new_state()
+            _build(nfa, part, current, mid)
+            current = mid
+        _build(nfa, expr.parts[-1], current, exit_)
+    elif isinstance(expr, Union):
+        for option in expr.options:
+            _build(nfa, option, entry, exit_)
+    elif isinstance(expr, Repeat):
+        loop = nfa._new_state()
+        nfa.add(entry, None, loop)
+        nfa.add(loop, None, exit_)
+        _build(nfa, expr.inner, loop, loop)
+    else:
+        raise SpecError(f"unsupported path expression {expr!r}")
+
+
+def compile_nfa(expr: PathExpr) -> _Nfa:
+    nfa = _Nfa()
+    _build(nfa, expr, nfa.start_state, nfa.accept_state)
+    return nfa
+
+
+class NfaAutomaton(PathAutomaton):
+    """Subset-construction view of a compiled NFA (lazy determinization)."""
+
+    def __init__(self, expr: PathExpr) -> None:
+        self.nfa = compile_nfa(expr)
+        self._closure_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+    def _eps_closure(self, states: FrozenSet[int]) -> FrozenSet[int]:
+        cached = self._closure_cache.get(states)
+        if cached is not None:
+            return cached
+        closure: Set[int] = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for guard, dst in self.nfa.transitions[s]:
+                if guard is None and dst not in closure:
+                    closure.add(dst)
+                    stack.append(dst)
+        result = frozenset(closure)
+        self._closure_cache[states] = result
+        return result
+
+    def start(self) -> State:
+        return self._eps_closure(frozenset([self.nfa.start_state]))
+
+    def step(self, state: State, device: Device, context: SelectorContext) -> State:
+        moved: Set[int] = set()
+        for s in state:
+            for guard, dst in self.nfa.transitions[s]:
+                if guard is not None and guard.matches(device, context):
+                    moved.add(dst)
+        return self._eps_closure(frozenset(moved))
+
+    def accepting(self, state: State) -> bool:
+        return self.nfa.accept_state in state
+
+    def is_dead(self, state: State) -> bool:
+        return not state
+
+
+# ----------------------------------------------------------------------
+# Combinators
+# ----------------------------------------------------------------------
+
+
+class ProductAutomaton(PathAutomaton):
+    """Pairwise product; acceptance is a boolean combination of the parts."""
+
+    def __init__(self, left: PathAutomaton, right: PathAutomaton, mode: str) -> None:
+        if mode not in ("and", "or"):
+            raise SpecError(f"bad product mode {mode!r}")
+        self.left = left
+        self.right = right
+        self.mode = mode
+
+    def start(self) -> State:
+        return (self.left.start(), self.right.start())
+
+    def step(self, state: State, device: Device, context: SelectorContext) -> State:
+        l, r = state
+        return (
+            self.left.step(l, device, context),
+            self.right.step(r, device, context),
+        )
+
+    def accepting(self, state: State) -> bool:
+        l, r = state
+        if self.mode == "and":
+            return self.left.accepting(l) and self.right.accepting(r)
+        return self.left.accepting(l) or self.right.accepting(r)
+
+    def is_dead(self, state: State) -> bool:
+        l, r = state
+        if self.mode == "and":
+            return self.left.is_dead(l) or self.right.is_dead(r)
+        return self.left.is_dead(l) and self.right.is_dead(r)
+
+
+class ComplementAutomaton(PathAutomaton):
+    """Acceptance complement (sound because states are determinized)."""
+
+    def __init__(self, inner: PathAutomaton) -> None:
+        self.inner = inner
+
+    def start(self) -> State:
+        return self.inner.start()
+
+    def step(self, state: State, device: Device, context: SelectorContext) -> State:
+        return self.inner.step(state, device, context)
+
+    def accepting(self, state: State) -> bool:
+        return not self.inner.accepting(state)
+
+    def is_dead(self, state: State) -> bool:
+        return False  # a dead inner state accepts everything from now on
+
+
+def compile_path_set(path_set: PathSet) -> PathAutomaton:
+    """Compile a path-set expression (``cover`` is handled by the verifier
+    layer, not here)."""
+    if isinstance(path_set, RegexSet):
+        return NfaAutomaton(path_set.regex)
+    if isinstance(path_set, AndSet):
+        return ProductAutomaton(
+            compile_path_set(path_set.left), compile_path_set(path_set.right), "and"
+        )
+    if isinstance(path_set, OrSet):
+        return ProductAutomaton(
+            compile_path_set(path_set.left), compile_path_set(path_set.right), "or"
+        )
+    if isinstance(path_set, NotSet):
+        return ComplementAutomaton(compile_path_set(path_set.inner))
+    if isinstance(path_set, CoverSet):
+        raise SpecError("'cover' must be unwrapped by the requirement layer")
+    raise SpecError(f"unsupported path set {path_set!r}")

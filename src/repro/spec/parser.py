@@ -1,0 +1,198 @@
+"""Parser for the requirement language (Appendix B, Figure 16).
+
+Path regular expressions are whitespace-separated hop atoms::
+
+    S .* [W|Y] .* D          # Figure 3's waypoint requirement
+    S .* W .* > $            # reach a destination node, waypointing W
+    ^ S [role=tor]* D $      # label selectors; anchors are optional no-ops
+
+Atoms: device names, ``.`` (any), ``>`` (destination), ``[A|B]``
+(alternation), ``[label op value]`` (label select, op ∈ {=, contains,
+matches}), each optionally suffixed by ``*`` (repeat).  ``^`` and ``$``
+anchors are accepted and ignored — matching is whole-path.
+
+Path-set combinators use prefix/infix keywords with parentheses::
+
+    (S .* D) and not (S .* X .* D)
+    cover (S [role=agg] D)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import SpecError
+from .ast import (
+    AndSet,
+    AnyHop,
+    ById,
+    ByLabel,
+    Concat,
+    CoverSet,
+    Destination,
+    Hop,
+    HopSelector,
+    NotSet,
+    OneOf,
+    OrSet,
+    PathExpr,
+    PathSet,
+    RegexSet,
+    Repeat,
+    Union,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<bracket>\[[^\]]*\])
+  | (?P<word>[^\s()\[\]]+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "cover"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    for m in _TOKEN_RE.finditer(text):
+        if text[pos : m.start()].strip():
+            raise SpecError(f"cannot tokenize {text[pos:m.start()]!r}")
+        tokens.append(m.group(0))
+        pos = m.end()
+    if text[pos:].strip():
+        raise SpecError(f"cannot tokenize {text[pos:]!r}")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SpecError("unexpected end of requirement expression")
+        self.pos += 1
+        return token
+
+    # set_expr := or_expr
+    # or_expr  := and_expr ('or' and_expr)*
+    # and_expr := unary ('and' unary)*
+    # unary    := 'not' unary | 'cover' unary | '(' set_expr ')' | regex
+    def parse_set(self) -> PathSet:
+        node = self.parse_and()
+        while self.peek() == "or":
+            self.next()
+            node = OrSet(node, self.parse_and())
+        return node
+
+    def parse_and(self) -> PathSet:
+        node = self.parse_unary()
+        while self.peek() == "and":
+            self.next()
+            node = AndSet(node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> PathSet:
+        token = self.peek()
+        if token == "not":
+            self.next()
+            return NotSet(self.parse_unary())
+        if token == "cover":
+            self.next()
+            return CoverSet(self.parse_unary())
+        if token == "(":
+            self.next()
+            inner = self.parse_set()
+            if self.next() != ")":
+                raise SpecError("unbalanced parenthesis in requirement")
+            return inner
+        return RegexSet(self.parse_regex())
+
+    def parse_regex(self) -> PathExpr:
+        parts: List[PathExpr] = []
+        while True:
+            token = self.peek()
+            if token is None or token in _KEYWORDS or token == ")":
+                break
+            self.next()
+            atom = self._parse_atom(token)
+            if atom is not None:
+                parts.append(atom)
+        if not parts:
+            raise SpecError("empty path regular expression")
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def _parse_atom(self, token: str) -> Optional[PathExpr]:
+        if token in ("^", "$"):
+            return None  # anchors are implicit
+        starred = token.endswith("*") and token != "*"
+        if starred:
+            token = token[:-1]
+        if token == ".":
+            expr: PathExpr = Hop(AnyHop())
+        elif token == ">":
+            expr = Hop(Destination())
+        elif token == "*":
+            raise SpecError("dangling '*' (write '.*' or 'atom*')")
+        elif token.startswith("["):
+            expr = Hop(_parse_bracket(token))
+        else:
+            expr = Hop(ById(token))
+        return Repeat(expr) if starred else expr
+
+
+_LABEL_RE = re.compile(
+    r"^\s*(?P<label>\w+)\s*(?P<op>=|contains|matches)\s*(?P<value>.+?)\s*$"
+)
+
+
+def _parse_bracket(token: str) -> HopSelector:
+    body = token[1:-1].strip()
+    if not body:
+        raise SpecError("empty bracket selector")
+    label_match = _LABEL_RE.match(body)
+    if label_match and "|" not in body:
+        return ByLabel(
+            label_match.group("label"),
+            label_match.group("op"),
+            label_match.group("value"),
+        )
+    options = []
+    for part in body.split("|"):
+        part = part.strip()
+        if not part:
+            raise SpecError(f"empty alternative in {token!r}")
+        if part == ".":
+            options.append(AnyHop())
+        elif part == ">":
+            options.append(Destination())
+        else:
+            options.append(ById(part))
+    return OneOf(tuple(options))
+
+
+def parse_path_set(text: str) -> PathSet:
+    """Parse a full path-set expression."""
+    parser = _Parser(_tokenize(text))
+    node = parser.parse_set()
+    if parser.peek() is not None:
+        raise SpecError(f"trailing tokens after expression: {parser.peek()!r}")
+    return node
+
+
+def parse_path_regex(text: str) -> PathExpr:
+    """Parse a bare path regular expression (no set combinators)."""
+    node = parse_path_set(text)
+    if not isinstance(node, RegexSet):
+        raise SpecError("expected a plain path regular expression")
+    return node.regex

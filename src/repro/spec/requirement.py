@@ -1,0 +1,118 @@
+"""Requirement objects: (packet_space, sources, path_set) tuples (App. B).
+
+A :class:`Requirement` binds a parsed path-set expression to a packet space
+and source devices, resolves destination nodes for the ``>`` selector, and
+compiles the automaton the CE2D verifier consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SpecError
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match
+from ..network.topology import Topology
+from ..core.rule_index import matches_intersect
+from .ast import CoverSet, PathSet, SelectorContext
+from .dfa import PathAutomaton, compile_path_set
+from .parser import parse_path_set
+
+
+class Multiplicity(enum.Enum):
+    """How many destinations must be reached (Appendix D.2)."""
+
+    UNICAST = "unicast"    # at least one accepting path
+    ANYCAST = "anycast"    # exactly one destination reachable
+    MULTICAST = "multicast"  # all destinations reachable
+
+
+@dataclass
+class Requirement:
+    """One verification requirement."""
+
+    name: str
+    packet_space: Match
+    sources: Tuple[int, ...]
+    path_set: PathSet
+    multiplicity: Multiplicity = Multiplicity.UNICAST
+
+    @property
+    def is_cover(self) -> bool:
+        return isinstance(self.path_set, CoverSet)
+
+    def automaton(self) -> PathAutomaton:
+        inner = self.path_set.inner if self.is_cover else self.path_set
+        return compile_path_set(inner)
+
+    def selector_context(self, topology: Topology, layout: HeaderLayout) -> SelectorContext:
+        """Resolve ``>`` to nodes owning prefixes intersecting the space."""
+        destinations = set()
+        for device in topology.devices():
+            prefixes = device.label("prefixes")
+            if not prefixes:
+                continue
+            for value, length in _normalise_prefixes(prefixes):
+                owned = Match.dst_prefix(value, length, layout)
+                if matches_intersect(owned, self.packet_space):
+                    destinations.add(device.device_id)
+                    break
+        return SelectorContext(frozenset(destinations))
+
+
+def _normalise_prefixes(prefixes) -> List[Tuple[int, int]]:
+    out = []
+    for p in prefixes:
+        if isinstance(p, tuple) and len(p) == 2:
+            out.append(p)
+    return out
+
+
+def resolve_sources(topology: Topology, sources: Sequence[str]) -> Tuple[int, ...]:
+    """Resolve source specs: device names, or ``[label op value]`` selectors.
+
+    Selector specs reuse the hop-selector syntax of the requirement
+    language, e.g. ``"[role=tor]"`` selects every ToR as a source.
+    """
+    from .parser import _parse_bracket  # selector syntax shared with hops
+
+    ids = []
+    context = SelectorContext()
+    for spec in sources:
+        if spec.startswith("["):
+            selector = _parse_bracket(spec)
+            matched = [
+                d.device_id
+                for d in topology.devices()
+                if selector.matches(d, context)
+            ]
+            if not matched:
+                raise SpecError(f"source selector {spec!r} matches no device")
+            ids.extend(matched)
+        else:
+            ids.append(topology.id_of(spec))
+    return tuple(dict.fromkeys(ids))  # dedupe, keep order
+
+
+def requirement(
+    name: str,
+    topology: Topology,
+    layout: HeaderLayout,
+    packet_space: Match,
+    sources: Sequence[str],
+    expression: str,
+    multiplicity: Multiplicity = Multiplicity.UNICAST,
+) -> Requirement:
+    """Build a requirement from names/selectors and a path-set expression."""
+    source_ids = resolve_sources(topology, sources)
+    if not source_ids:
+        raise SpecError(f"requirement {name!r} has no sources")
+    return Requirement(
+        name=name,
+        packet_space=packet_space,
+        sources=source_ids,
+        path_set=parse_path_set(expression),
+        multiplicity=multiplicity,
+    )

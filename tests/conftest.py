@@ -1,0 +1,54 @@
+"""Shared fixtures and strategy helpers for the test suite."""
+
+from typing import Dict, List
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import RuleUpdate, UpdateOp
+from repro.headerspace.fields import HeaderLayout, dst_only_layout
+from repro.headerspace.match import Match, Pattern
+
+
+def random_rule_strategy(layout: HeaderLayout, actions: List[int], max_priority=6):
+    """Hypothesis strategy producing well-behaved rules for a small layout."""
+    width = layout.field("dst").width
+
+    def make_prefix(value, length, priority, action):
+        return Rule(priority, Match.dst_prefix(value, length, layout), action)
+
+    def make_suffix(value, length, priority, action):
+        return Rule(
+            priority, Match({"dst": Pattern.suffix(value, length, width)}), action
+        )
+
+    prefix_rules = st.builds(
+        make_prefix,
+        st.integers(0, (1 << width) - 1),
+        st.integers(0, width),
+        st.integers(0, max_priority),
+        st.sampled_from(actions),
+    )
+    suffix_rules = st.builds(
+        make_suffix,
+        st.integers(0, (1 << width) - 1),
+        st.integers(0, width),
+        st.integers(0, max_priority),
+        st.sampled_from(actions),
+    )
+    return st.one_of(prefix_rules, suffix_rules)
+
+
+def assert_model_matches_snapshot(model, snapshot, layout):
+    """Check R ~ M by exhaustive header enumeration (small layouts only)."""
+    for header in range(layout.universe_size):
+        values = layout.unflatten(header)
+        assignment = {}
+        for name in layout.field_names():
+            assignment.update(dict(layout.bits_of(name, values[name])))
+        expected = snapshot.behavior(values)
+        actual = model.behavior(assignment)
+        assert actual == expected, (
+            f"header {values}: model {actual} != snapshot {expected}"
+        )

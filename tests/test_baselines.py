@@ -1,0 +1,274 @@
+"""Tests for Delta-net* and APKeep* — including cross-verifier agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.apkeep import APKeepVerifier
+from repro.baselines.deltanet import DeltaNetVerifier
+from repro.core.model_manager import ModelManager
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import delete, insert
+from repro.errors import DataPlaneError, RuleNotFoundError
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match, Pattern
+
+LAYOUT = dst_only_layout(4)
+DEVICES = [0, 1]
+
+
+def prefix_rule(pri, value, length, action=1):
+    return Rule(pri, Match.dst_prefix(value, length, LAYOUT), action)
+
+
+def suffix_rule(pri, value, length, action=1):
+    return Rule(pri, Match({"dst": Pattern.suffix(value, length, 4)}), action)
+
+
+@st.composite
+def unique_priority_blocks(draw):
+    """Insert sequences with unique priorities per device (well-behaved)."""
+    count = draw(st.integers(0, 10))
+    updates = []
+    used = {d: set() for d in DEVICES}
+    for i in range(count):
+        device = draw(st.integers(0, len(DEVICES) - 1))
+        priority = draw(st.integers(0, 30))
+        if priority in used[device]:
+            continue
+        used[device].add(priority)
+        if draw(st.booleans()):
+            length = draw(st.integers(0, 4))
+            value = draw(st.integers(0, 15))
+            match = Match.dst_prefix(value, length, LAYOUT)
+        else:
+            match = Match(
+                {"dst": Pattern.suffix(draw(st.integers(0, 15)),
+                                       draw(st.integers(0, 4)), 4)}
+            )
+        action = draw(st.sampled_from([1, 2, 3, DROP]))
+        updates.append(insert(device, Rule(priority, match, action)))
+    return updates
+
+
+def flash_behavior(manager, values):
+    assignment = {}
+    for name in LAYOUT.field_names():
+        assignment.update(dict(LAYOUT.bits_of(name, values[name])))
+    return manager.model.behavior(assignment)
+
+
+def apkeep_behavior(verifier, values):
+    assignment = {}
+    for name in LAYOUT.field_names():
+        assignment.update(dict(LAYOUT.bits_of(name, values[name])))
+    return verifier.behavior(assignment)
+
+
+class TestDeltaNet:
+    def test_empty_behavior(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        assert v.behavior({"dst": 5}) == {0: DROP, 1: DROP}
+        assert v.num_atoms == 1
+
+    def test_insert_prefix_splits_atoms(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(1, 0b1000, 1, 7)))
+        assert v.num_atoms == 2
+        assert v.behavior({"dst": 0b1010})[0] == 7
+        assert v.behavior({"dst": 0b0010})[0] == DROP
+
+    def test_priority_resolution(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(1, 0, 0, 1)))
+        v.apply(insert(0, prefix_rule(2, 0b1000, 1, 2)))
+        assert v.behavior({"dst": 0b1000})[0] == 2
+        assert v.behavior({"dst": 0b0000})[0] == 1
+
+    def test_delete_restores(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        r = prefix_rule(2, 0b1000, 1, 2)
+        v.apply(insert(0, prefix_rule(1, 0, 0, 1)))
+        v.apply(insert(0, r))
+        v.apply(delete(0, r))
+        assert v.behavior({"dst": 0b1000})[0] == 1
+
+    def test_suffix_rule_explodes_atoms(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, suffix_rule(1, 0b1, 1, 9)))
+        # 8 disjoint singleton intervals → many atoms.
+        assert v.num_atoms >= 8
+        assert v.behavior({"dst": 0b0001})[0] == 9
+        assert v.behavior({"dst": 0b0010})[0] == DROP
+
+    def test_atom_ops_counted(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(1, 0, 0, 1)))
+        ops_prefix = v.counter.extra.get("atom_ops", 0)
+        v.apply(insert(0, suffix_rule(2, 0b1, 1, 2)))
+        ops_suffix = v.counter.extra["atom_ops"] - ops_prefix
+        assert ops_suffix > ops_prefix  # non-prefix rules cost more
+
+    def test_duplicate_insert_rejected(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        r = prefix_rule(1, 0, 0, 1)
+        v.apply(insert(0, r))
+        with pytest.raises(DataPlaneError):
+            v.apply(insert(0, r))
+
+    def test_delete_missing_raises(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        with pytest.raises(RuleNotFoundError):
+            v.apply(delete(0, prefix_rule(1, 0, 0, 1)))
+
+    def test_unknown_device(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        with pytest.raises(DataPlaneError):
+            v.apply(insert(9, prefix_rule(1, 0, 0, 1)))
+
+    def test_num_ecs(self):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(1, 0b1000, 1, 7)))
+        assert v.num_ecs() == 2
+
+
+class TestAPKeep:
+    def test_empty_model(self):
+        v = APKeepVerifier(DEVICES, LAYOUT)
+        assert v.num_ecs() == 1
+        v.check_invariants()
+
+    def test_insert_and_lookup(self):
+        v = APKeepVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(2, 0b1000, 1, 7)))
+        assert v.num_ecs() == 2
+        v.check_invariants()
+        assert apkeep_behavior(v, {"dst": 0b1000})[0] == 7
+        assert apkeep_behavior(v, {"dst": 0b0000})[0] == DROP
+
+    def test_shadowed_insert_is_noop(self):
+        v = APKeepVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(3, 0b1000, 1, 7)))
+        v.apply(insert(0, prefix_rule(1, 0b1000, 1, 9)))  # fully shadowed
+        assert v.num_ecs() == 2
+        assert apkeep_behavior(v, {"dst": 0b1000})[0] == 7
+
+    def test_delete_reowns_to_lower_rule(self):
+        v = APKeepVerifier(DEVICES, LAYOUT)
+        low = prefix_rule(1, 0, 0, 1)
+        high = prefix_rule(2, 0b1000, 1, 2)
+        v.apply(insert(0, low))
+        v.apply(insert(0, high))
+        v.apply(delete(0, high))
+        v.check_invariants()
+        assert apkeep_behavior(v, {"dst": 0b1000})[0] == 1
+
+    def test_ec_merging_on_same_action(self):
+        v = APKeepVerifier(DEVICES, LAYOUT)
+        v.apply(insert(0, prefix_rule(1, 0b0000, 1, 5)))
+        v.apply(insert(0, prefix_rule(1, 0b1000, 1, 5)))
+        # Both halves behave identically → one EC again.
+        assert v.num_ecs() == 1
+
+    def test_unknown_device(self):
+        v = APKeepVerifier(DEVICES, LAYOUT)
+        with pytest.raises(DataPlaneError):
+            v.apply(insert(9, prefix_rule(1, 0, 0, 1)))
+
+
+class TestCrossVerifierAgreement:
+    """Flash, APKeep* and Delta-net* must agree on every header."""
+
+    @given(unique_priority_blocks())
+    @settings(max_examples=30, deadline=None)
+    def test_inserts_agree(self, updates):
+        flash = ModelManager(DEVICES, LAYOUT)
+        apkeep = APKeepVerifier(DEVICES, LAYOUT)
+        deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
+        flash.submit(updates)
+        flash.flush()
+        apkeep.process_updates(updates)
+        deltanet.process_updates(updates)
+        apkeep.check_invariants()
+        flash.model.check_invariants()
+        for header in range(LAYOUT.universe_size):
+            values = LAYOUT.unflatten(header)
+            expected = flash.snapshot.behavior(values)
+            assert flash_behavior(flash, values) == expected
+            assert apkeep_behavior(apkeep, values) == expected
+            assert deltanet.behavior(values) == expected
+
+    @given(unique_priority_blocks(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_inserts_then_deletes_agree(self, updates, data):
+        flash = ModelManager(DEVICES, LAYOUT)
+        apkeep = APKeepVerifier(DEVICES, LAYOUT)
+        deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
+        flash.submit(updates)
+        flash.flush()
+        apkeep.process_updates(updates)
+        deltanet.process_updates(updates)
+        if updates:
+            doomed = data.draw(
+                st.lists(st.sampled_from(updates), unique=True, max_size=4),
+                label="deletions",
+            )
+            deletions = [delete(u.device, u.rule) for u in doomed]
+            flash.submit(deletions)
+            flash.flush()
+            apkeep.process_updates(deletions)
+            deltanet.process_updates(deletions)
+        for header in range(LAYOUT.universe_size):
+            values = LAYOUT.unflatten(header)
+            expected = flash.snapshot.behavior(values)
+            assert flash_behavior(flash, values) == expected
+            assert apkeep_behavior(apkeep, values) == expected
+            assert deltanet.behavior(values) == expected
+
+    @given(unique_priority_blocks())
+    @settings(max_examples=20, deadline=None)
+    def test_ec_counts_agree(self, updates):
+        flash = ModelManager(DEVICES, LAYOUT)
+        apkeep = APKeepVerifier(DEVICES, LAYOUT)
+        flash.submit(updates)
+        flash.flush()
+        apkeep.process_updates(updates)
+        assert flash.num_ecs() == apkeep.num_ecs()
+
+
+class TestDelayMerge:
+    """APKeep's §5.1 'delay merge' parameter."""
+
+    def _split_then_rejoin_updates(self):
+        # Split the space in two with different actions, then unify them —
+        # eager merging coalesces immediately, delayed merging lags.
+        return [
+            insert(0, prefix_rule(1, 0b0000, 1, 7)),
+            insert(0, prefix_rule(1, 0b1000, 1, 9)),
+            insert(0, prefix_rule(2, 0b0000, 0, 5)),  # shadow all with 5
+        ]
+
+    def test_semantics_identical_regardless_of_delay(self):
+        for delay in (0, 2, 10):
+            v = APKeepVerifier(DEVICES, LAYOUT, delay_merge=delay)
+            v.process_updates(self._split_then_rejoin_updates())
+            for header in range(LAYOUT.universe_size):
+                values = LAYOUT.unflatten(header)
+                assert apkeep_behavior(v, values)[0] == 5, delay
+
+    def test_delayed_table_temporarily_larger(self):
+        eager = APKeepVerifier(DEVICES, LAYOUT, delay_merge=0)
+        lazy = APKeepVerifier(DEVICES, LAYOUT, delay_merge=100)
+        updates = self._split_then_rejoin_updates()
+        eager.process_updates(updates)
+        lazy.process_updates(updates)
+        assert eager.num_ecs() == 1
+        assert lazy.num_ecs() > eager.num_ecs()
+        lazy._merge_pass()
+        assert lazy.num_ecs() == eager.num_ecs()
+
+    def test_merge_fires_on_schedule(self):
+        v = APKeepVerifier(DEVICES, LAYOUT, delay_merge=3)
+        v.process_updates(self._split_then_rejoin_updates())
+        # Third update triggers the periodic merge pass.
+        assert v.num_ecs() == 1

@@ -1,0 +1,333 @@
+"""Tests for epoch tracking, the dispatcher, Algorithm 2 and Algorithm 3."""
+
+import itertools
+
+import pytest
+
+from repro.ce2d.dispatcher import CE2DDispatcher
+from repro.ce2d.epoch import EpochTracker
+from repro.ce2d.loop_detector import LoopDetector
+from repro.ce2d.results import Verdict
+from repro.ce2d.verifier import SubspaceVerifier
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.generators import figure3_example, line, ring
+from repro.network.topology import Topology
+from repro.spec.requirement import Multiplicity, requirement
+
+LAYOUT = dst_only_layout(4)
+
+
+def fwd(topo, device_name, next_name, pri=1):
+    """An 'everything to next hop' rule for tests."""
+    topo_id = topo.id_of(device_name)
+    rule = Rule(pri, Match.wildcard(), topo.id_of(next_name))
+    return insert(topo_id, rule)
+
+
+class TestEpochTracker:
+    def test_first_tag_becomes_active(self):
+        t = EpochTracker()
+        assert t.observe(0, "e1")
+        assert t.is_active("e1")
+
+    def test_successor_deactivates_predecessor(self):
+        t = EpochTracker()
+        t.observe(0, "e1")
+        t.observe(0, "e2")
+        assert not t.is_active("e1")
+        assert t.is_inactive("e1")
+        assert t.is_active("e2")
+
+    def test_cross_device_inactivation(self):
+        # Paper's example: t2 seen before t3 on one device kills t2 globally.
+        t = EpochTracker()
+        t.observe(0, "t1")            # S at t1
+        t.observe(1, "t2")            # A at t2
+        t.observe(2, "t2")            # B at t2
+        assert t.active_tags() == {"t1", "t2"}
+        for dev in (0, 1, 2):
+            t.observe(dev, "t3")
+        assert t.active_tags() == {"t3"}
+        # Late arrival of t2 from a dampened device does not resurrect it.
+        assert not t.observe(3, "t2") or not t.is_active("t2")
+        assert not t.is_active("t2")
+
+    def test_same_tag_idempotent(self):
+        t = EpochTracker()
+        t.observe(0, "e")
+        assert not t.observe(0, "e")
+
+    def test_devices_at(self):
+        t = EpochTracker()
+        t.observe(0, "e")
+        t.observe(1, "e")
+        t.observe(2, "f")
+        assert sorted(t.devices_at("e")) == [0, 1]
+        assert t.latest_of(2) == "f"
+
+
+class TestLoopDetector:
+    """Algorithm 3 on small crafted topologies."""
+
+    def _feed(self, verifier, topo, hops):
+        """Sync devices one at a time with 'forward to next' rules."""
+        reports = []
+        for device_name, next_name in hops:
+            reports.extend(
+                verifier.receive(
+                    topo.id_of(device_name), [fwd(topo, device_name, next_name)]
+                )
+            )
+        return reports
+
+    def test_deterministic_loop_found_early(self):
+        topo = ring(4)  # 0-1-2-3-0
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        # 0 → 1 and 1 → 0 form a 2-loop; devices 2 and 3 still unsynced.
+        r1 = verifier.receive(0, [insert(0, Rule(1, Match.wildcard(), 1))])
+        assert r1[0].verdict is Verdict.UNKNOWN
+        r2 = verifier.receive(1, [insert(1, Rule(1, Match.wildcard(), 0))])
+        assert r2[0].verdict is Verdict.VIOLATED
+        assert set(r2[0].loop_path) >= {0, 1}
+
+    def test_loop_via_hyper_node_is_not_deterministic(self):
+        # Figure 5(a): C and X unsynchronised; A→C&X possible loop only.
+        topo = Topology()
+        for name in "ABCX":
+            topo.add_device(name)
+        out = topo.add_external("out")
+        topo.add_link_by_name("A", "B")
+        topo.add_link_by_name("A", "C")
+        topo.add_link_by_name("C", "X")
+        topo.add_link_by_name("X", "B")
+        topo.add_link(topo.id_of("C"), out)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        reports = self._feed(verifier, topo, [("B", "A"), ("A", "C")])
+        assert all(r.verdict is Verdict.UNKNOWN for r in reports)
+        assert verifier.loop_detector.potential_loops > 0
+
+    def test_figure5b_loop_detected_with_unsynced_x(self):
+        # Figure 5(b): C synchronised; B→A→X→B... the paper's case is that a
+        # loop through the synced part closes regardless of X — here we build
+        # the deterministic variant: A→B, B→C, C→A all synced, X dark.
+        topo = Topology()
+        for name in "ABCX":
+            topo.add_device(name)
+        topo.add_link_by_name("A", "B")
+        topo.add_link_by_name("B", "C")
+        topo.add_link_by_name("C", "A")
+        topo.add_link_by_name("C", "X")
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        reports = self._feed(
+            verifier, topo, [("A", "B"), ("B", "C"), ("C", "A")]
+        )
+        assert reports[-1].verdict is Verdict.VIOLATED
+
+    def test_no_loop_reports_satisfied_when_converged(self):
+        topo = line(3)
+        sink = topo.add_external("sink")
+        topo.add_link(2, sink)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        verifier.receive(0, [insert(0, Rule(1, Match.wildcard(), 1))])
+        verifier.receive(1, [insert(1, Rule(1, Match.wildcard(), 2))])
+        reports = verifier.receive(2, [insert(2, Rule(1, Match.wildcard(), sink))])
+        assert reports[0].verdict is Verdict.SATISFIED
+
+    def test_drop_action_is_loop_free(self):
+        topo = ring(3)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        for device in topo.switches():
+            reports = verifier.receive(device, [])  # default action DROP
+        assert reports[0].verdict is Verdict.SATISFIED
+
+    def test_loop_on_subset_of_header_space(self):
+        """A loop for one EC only (prefix-specific loop)."""
+        topo = ring(4)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        half = Match.dst_prefix(0b1000, 1, LAYOUT)
+        verifier.receive(0, [insert(0, Rule(2, half, 1))])
+        reports = verifier.receive(1, [insert(1, Rule(2, half, 0))])
+        assert reports[0].verdict is Verdict.VIOLATED
+
+    def test_disjoint_half_spaces_no_loop(self):
+        """0→1 for one half, 1→0 for the other: no packet loops."""
+        topo = ring(4)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        high = Match.dst_prefix(0b1000, 1, LAYOUT)
+        low = Match.dst_prefix(0b0000, 1, LAYOUT)
+        verifier.receive(0, [insert(0, Rule(2, high, 1))])
+        reports = verifier.receive(1, [insert(1, Rule(2, low, 0))])
+        assert reports[0].verdict is Verdict.UNKNOWN  # 2, 3 still dark
+
+    def test_incremental_no_rescan(self):
+        topo = ring(4)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        verifier.receive(2, [insert(2, Rule(1, Match.wildcard(), 3))])
+        verifier.receive(3, [insert(3, Rule(1, Match.wildcard(), 0))])
+        r = verifier.receive(0, [insert(0, Rule(1, Match.wildcard(), 1))])
+        assert r[0].verdict is Verdict.UNKNOWN
+        r = verifier.receive(1, [insert(1, Rule(1, Match.wildcard(), 2))])
+        assert r[0].verdict is Verdict.VIOLATED
+
+
+class TestRegexVerifierEndToEnd:
+    def _figure3_requirement(self, topo, multiplicity=Multiplicity.UNICAST):
+        return requirement(
+            "waypoint",
+            topo,
+            LAYOUT,
+            Match.wildcard(),
+            ["S"],
+            "S .* [W|Y] .* D",
+            multiplicity,
+        )
+
+    def test_satisfied_via_waypoint(self):
+        topo = figure3_example()
+        req = self._figure3_requirement(topo)
+        verifier = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        hops = [("S", "W"), ("W", "C"), ("C", "D")]
+        last = None
+        for u, v in hops:
+            last = verifier.receive(topo.id_of(u), [fwd(topo, u, v)])
+        # S→W→C→D satisfies even though A,B,E,Y,D are unsynced... D must be
+        # synced too (it is the accepting device but takes no further hop).
+        assert last[0].verdict in (Verdict.SATISFIED, Verdict.UNKNOWN)
+        last = verifier.receive(topo.id_of("D"), [])
+        assert last[0].verdict is Verdict.SATISFIED
+
+    def test_paper_update_sequence_violation(self):
+        """Figure 4(b): after Updates 1 and 2 of epoch [1,1,...], the
+        requirement is consistently violated before W/Y/C ever report."""
+        topo = figure3_example()
+        req = self._figure3_requirement(topo)
+        verifier = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        # Update 1: S forwards to A (link S-W is down).
+        r = verifier.receive(topo.id_of("S"), [fwd(topo, "S", "A")])
+        assert r[0].verdict is Verdict.UNKNOWN
+        # Update 2: A forwards back to S; B forwards to E (link B-Y down).
+        r = verifier.receive(topo.id_of("A"), [fwd(topo, "A", "S")])
+        assert r[0].verdict is Verdict.VIOLATED
+        # The verdict is final; further updates cannot flip it.
+        r = verifier.receive(topo.id_of("B"), [fwd(topo, "B", "E")])
+        assert r[0].verdict is Verdict.VIOLATED
+
+    def test_early_violation_when_cut(self):
+        topo = figure3_example()
+        req = requirement(
+            "reach", topo, LAYOUT, Match.wildcard(), ["S"], "S .* D"
+        )
+        verifier = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        # S drops everything: no path can exist no matter what others do.
+        reports = verifier.receive(topo.id_of("S"), [])
+        assert reports[0].verdict is Verdict.VIOLATED
+
+    def test_mt_and_dgq_agree(self):
+        topo = figure3_example()
+        req = self._figure3_requirement(topo)
+        results = {}
+        for use_dgq in (True, False):
+            verifier = SubspaceVerifier(
+                topo, LAYOUT, requirements=[req], use_dgq=use_dgq
+            )
+            r = verifier.receive(topo.id_of("S"), [fwd(topo, "S", "A")])
+            r = verifier.receive(topo.id_of("A"), [fwd(topo, "A", "S")])
+            results[use_dgq] = r[0].verdict
+        assert results[True] == results[False] == Verdict.VIOLATED
+
+    def test_cover_requirement(self):
+        topo = figure3_example()
+        req = requirement(
+            "cover-shortest",
+            topo,
+            LAYOUT,
+            Match.wildcard(),
+            ["S"],
+            "cover (S W C)",
+        )
+        verifier = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        # S must forward to W (the only graph successor of S here).
+        r = verifier.receive(topo.id_of("S"), [fwd(topo, "S", "A")])
+        assert r[0].verdict is Verdict.VIOLATED
+
+    def test_cover_satisfied(self):
+        topo = figure3_example()
+        req = requirement(
+            "cover-shortest", topo, LAYOUT, Match.wildcard(), ["S"],
+            "cover (S W C)",
+        )
+        verifier = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        r = verifier.receive(topo.id_of("S"), [fwd(topo, "S", "W")])
+        assert r[0].verdict is Verdict.UNKNOWN
+        r = verifier.receive(topo.id_of("W"), [fwd(topo, "W", "C")])
+        assert r[0].verdict is Verdict.UNKNOWN
+        r = verifier.receive(topo.id_of("C"), [fwd(topo, "C", "D")])
+        assert r[0].verdict is Verdict.SATISFIED
+
+
+class TestDispatcher:
+    def _factory(self, topo):
+        def make(tag):
+            return SubspaceVerifier(topo, LAYOUT, epoch=tag, check_loops=True)
+
+        return make
+
+    def test_creates_verifier_for_active_epoch(self):
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo))
+        dispatcher.receive(0, "e1", [insert(0, Rule(1, Match.wildcard(), 1))])
+        assert dispatcher.verifier_for("e1") is not None
+
+    def test_stale_epoch_dropped(self):
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo))
+        dispatcher.receive(0, "e1", [])
+        dispatcher.receive(0, "e2", [])
+        assert dispatcher.verifier_for("e1") is None
+        assert dispatcher.verifier_for("e2") is not None
+
+    def test_updates_for_inactive_epoch_queued_not_dispatched(self):
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo))
+        dispatcher.receive(0, "e2", [])            # device 0 already at e2
+        dispatcher.receive(0, "e3", [])            # e2 now inactive
+        dispatcher.receive(1, "e2", [])            # stale: queued, dropped
+        assert dispatcher.verifier_for("e2") is None
+        v3 = dispatcher.verifier_for("e3")
+        assert v3.num_synced == 1  # only device 0
+
+    def test_loop_detected_within_epoch(self):
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo))
+        dispatcher.receive(0, "e1", [insert(0, Rule(1, Match.wildcard(), 1))])
+        reports = dispatcher.receive(
+            1, "e1", [insert(1, Rule(1, Match.wildcard(), 0))]
+        )
+        assert any(r.verdict is Verdict.VIOLATED for r in reports)
+        assert dispatcher.deterministic_reports()
+
+    def test_two_parallel_epochs(self):
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo))
+        dispatcher.receive(0, "eA", [insert(0, Rule(1, Match.wildcard(), 1))])
+        dispatcher.receive(1, "eB", [insert(1, Rule(1, Match.wildcard(), 2))])
+        assert dispatcher.tracker.active_tags() == {"eA", "eB"}
+        assert len(dispatcher.active_verifiers()) == 2
+
+    def test_max_live_verifiers_backoff(self):
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo), max_live_verifiers=1)
+        dispatcher.receive(0, "eA", [])
+        dispatcher.receive(1, "eB", [])
+        assert len(dispatcher.verifiers) == 1
+
+    def test_requires_epoch_tag(self):
+        from repro.errors import DispatchError
+
+        topo = ring(4)
+        dispatcher = CE2DDispatcher(self._factory(topo))
+        with pytest.raises(DispatchError):
+            dispatcher.receive(0, None, [])

@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--topology", "internet2", "--out", "x.jsonl"]
+        )
+        assert args.command == "generate"
+        assert args.fib == "apsp"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["verify", "--trace", "t", "--engine", "nope"]
+            )
+
+
+class TestGenerateVerifyRoundtrip:
+    def test_generate_then_verify_flash(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(
+            ["generate", "--topology", "internet2", "--out", trace]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert main(["verify", "--topology", "internet2", "--trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "no violations" in out
+
+    def test_verify_with_baselines(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(["generate", "--topology", "internet2", "--out", trace])
+        capsys.readouterr()
+        for engine in ("apkeep", "deltanet"):
+            assert main(
+                [
+                    "verify",
+                    "--topology",
+                    "internet2",
+                    "--trace",
+                    trace,
+                    "--engine",
+                    engine,
+                ]
+            ) == 0
+            assert "model built" in capsys.readouterr().out
+
+    def test_insert_then_delete_flag(self, tmp_path):
+        trace = str(tmp_path / "t.jsonl")
+        main(
+            [
+                "generate",
+                "--topology",
+                "internet2",
+                "--out",
+                trace,
+                "--insert-then-delete",
+            ]
+        )
+        lines = open(trace).read().strip().splitlines()
+        assert sum('"op":"delete"' in l for l in lines) == len(lines) // 2
+
+    def test_unknown_topology_is_error(self, tmp_path, capsys):
+        assert main(
+            ["generate", "--topology", "nope", "--out", str(tmp_path / "x")]
+        ) == 2
+        assert "unknown topology" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_clean_network_exits_zero(self, capsys):
+        assert main(["simulate", "--topology", "internet2"]) == 0
+        assert "FIB batches" in capsys.readouterr().out
+
+    def test_buggy_network_exits_nonzero(self, capsys):
+        code = main(
+            ["simulate", "--topology", "internet2", "--buggy", "kans"]
+        )
+        assert code == 1
+        assert "violated" in capsys.readouterr().out
+
+    def test_link_failure_flag(self, capsys):
+        assert main(
+            ["simulate", "--topology", "internet2", "--fail-link", "chic-kans"]
+        ) == 0
+
+
+class TestAnalyze:
+    def test_analyze_outputs_summary(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        main(["generate", "--topology", "internet2", "--out", trace])
+        capsys.readouterr()
+        assert main(
+            [
+                "analyze",
+                "--topology",
+                "internet2",
+                "--trace",
+                trace,
+                "--trace-from",
+                "seat",
+                "--trace-dst",
+                "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "equivalence classes" in out
+        assert "inverse model" in out
+        assert "[delivered]" in out
+
+    def test_analyze_reports_blackholes_for_empty_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "empty.jsonl")
+        open(trace, "w").close()
+        assert main(
+            ["analyze", "--topology", "internet2", "--trace", trace]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blackholes" in out

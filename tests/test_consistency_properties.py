@@ -1,0 +1,190 @@
+"""Property tests for Definition 16 — consistent early detection.
+
+The paper's central CE2D guarantee (Appendix D.4): once a verifier emits a
+deterministic verdict from partial information, that verdict equals the
+verdict of the fully-converged network, for *any* arrival order of the
+remaining updates.  We check it by brute force: random converged data
+planes, random arrival orders, loop and reachability requirements.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce2d.results import Verdict
+from repro.ce2d.verifier import SubspaceVerifier
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.generators import internet2, ring
+from repro.network.topology import Topology
+from repro.spec.requirement import requirement
+
+LAYOUT = dst_only_layout(4)
+
+
+def random_topology(rng: random.Random) -> Topology:
+    """A connected random topology with 5-7 switches and one external."""
+    n = rng.randint(5, 7)
+    topo = Topology()
+    for i in range(n):
+        topo.add_device(f"s{i}")
+    for i in range(1, n):
+        topo.add_link(i, rng.randrange(i))
+    extra = rng.randint(0, n)
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        if not topo.has_link(u, v):
+            topo.add_link(u, v)
+    # The sink owns the whole space so the '>' selector resolves to it.
+    sink = topo.add_external("sink", prefixes=[(0, 0)])
+    topo.add_link(rng.randrange(n), sink)
+    return topo
+
+
+def random_fibs(topo: Topology, rng: random.Random):
+    """A random converged data plane: each switch forwards each half-space
+    to a random neighbor or drops."""
+    updates_per_device = {}
+    halves = [Match.dst_prefix(0, 1, LAYOUT), Match.dst_prefix(8, 1, LAYOUT)]
+    for switch in topo.switches():
+        updates = []
+        for pri, half in enumerate(halves, start=1):
+            neighbors = sorted(topo.neighbors(switch))
+            action = rng.choice(neighbors + [DROP])
+            if action != DROP:
+                updates.append(insert(switch, Rule(pri, half, action)))
+        updates_per_device[switch] = updates
+    return updates_per_device
+
+
+def loop_verdict_sequence(topo, updates_per_device, order):
+    """Feed in the given order, returning the verdict after each device."""
+    verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+    verdicts = []
+    for device in order:
+        reports = verifier.receive(device, updates_per_device[device])
+        verdicts.append(reports[0].verdict)
+    return verdicts
+
+
+class TestLoopConsistency:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_verdict_never_flips_and_matches_final(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        fibs = random_fibs(topo, rng)
+        switches = topo.switches()
+
+        # Ground truth: verdict with complete information.
+        final = loop_verdict_sequence(topo, fibs, switches)[-1]
+        assert final is not Verdict.UNKNOWN  # fully synced ⇒ deterministic
+
+        # Random arrival order: once deterministic, always the same verdict.
+        order = list(switches)
+        rng.shuffle(order)
+        verdicts = loop_verdict_sequence(topo, fibs, order)
+        deterministic = [v for v in verdicts if v is not Verdict.UNKNOWN]
+        assert verdicts[-1] == final
+        for v in deterministic:
+            assert v == final, (seed, order, verdicts)
+        # Monotone: after the first deterministic verdict, no UNKNOWN again.
+        if deterministic:
+            first = verdicts.index(deterministic[0])
+            assert all(v == final for v in verdicts[first:])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_two_orders_agree_on_final_verdict(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        fibs = random_fibs(topo, rng)
+        switches = topo.switches()
+        order_a = list(switches)
+        order_b = list(switches)
+        rng.shuffle(order_a)
+        rng.shuffle(order_b)
+        final_a = loop_verdict_sequence(topo, fibs, order_a)[-1]
+        final_b = loop_verdict_sequence(topo, fibs, order_b)[-1]
+        assert final_a == final_b
+
+
+def reach_verdict_sequence(topo, req, updates_per_device, order):
+    verifier = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+    verdicts = []
+    for device in order:
+        reports = verifier.receive(device, updates_per_device[device])
+        verdicts.append(reports[0].verdict)
+    return verdicts
+
+
+class TestReachabilityConsistency:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_reachability_verdict_consistent(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        fibs = random_fibs(topo, rng)
+        switches = topo.switches()
+        req = requirement(
+            "reach-sink", topo, LAYOUT, Match.wildcard(), ["s0"], "s0 .* >"
+        )
+        final = reach_verdict_sequence(topo, req, fibs, switches)[-1]
+        order = list(switches)
+        rng.shuffle(order)
+        verdicts = reach_verdict_sequence(topo, req, fibs, order)
+        assert verdicts[-1] == final
+        for v in verdicts:
+            if v is not Verdict.UNKNOWN:
+                assert v == final, (seed, order, verdicts)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_verdict_matches_ground_truth_walk(self, seed):
+        """The converged SATISFIED/VIOLATED verdict matches a brute-force
+        walk of the final FIBs."""
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        fibs = random_fibs(topo, rng)
+        switches = topo.switches()
+        sink = topo.externals()[0]
+        req = requirement(
+            "reach-sink", topo, LAYOUT, Match.wildcard(), ["s0"], "s0 .* >"
+        )
+        final = reach_verdict_sequence(topo, req, fibs, switches)[-1]
+
+        # Ground truth: for EVERY header, walk the FIBs from s0.
+        from repro.dataplane.fib import FibSnapshot
+
+        snapshot = FibSnapshot(switches)
+        for updates in fibs.values():
+            for u in updates:
+                snapshot.table(u.device).insert(u.rule)
+
+        def walk_reaches_sink(values):
+            current, seen = 0, set()
+            while current not in seen:
+                seen.add(current)
+                action = snapshot.table(current).lookup(values)
+                if action == DROP:
+                    return False
+                if action == sink:
+                    return True
+                if action not in snapshot.tables:
+                    return False
+                current = action
+            return False  # loop
+
+        all_reach = all(
+            walk_reaches_sink(LAYOUT.unflatten(h))
+            for h in range(LAYOUT.universe_size)
+        )
+        if final is Verdict.SATISFIED:
+            # SATISFIED means every EC has a compliant path.
+            assert all_reach, seed
+        if all_reach:
+            assert final is Verdict.SATISFIED, seed

@@ -1,0 +1,102 @@
+"""Tests for dataset persistence (topology/layout/bundle round trips)."""
+
+import pytest
+
+from repro.datasets import (
+    DatasetBundle,
+    layout_from_dict,
+    layout_to_dict,
+    load_bundle,
+    load_topology,
+    save_bundle,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.dataplane.trace import inserts_only
+from repro.errors import ReproError
+from repro.fibgen.shortest_path import std_fib
+from repro.headerspace.fields import dst_only_layout, dst_src_layout
+from repro.network.generators import fabric, internet2
+
+
+class TestTopologyRoundtrip:
+    def test_simple_roundtrip(self):
+        topo = internet2()
+        restored = topology_from_dict(topology_to_dict(topo))
+        assert restored.num_devices == topo.num_devices
+        assert restored.links() == topo.links()
+        assert restored.name_of(0) == topo.name_of(0)
+
+    def test_labels_and_prefixes_survive(self):
+        topo = fabric(pods=2, tors_per_pod=2, fabrics_per_pod=2, spines_per_plane=1)
+        layout = dst_only_layout(8)
+        std_fib(topo, layout)  # attaches rack prefixes as tuples
+        restored = topology_from_dict(topology_to_dict(topo))
+        for rack in topo.externals():
+            original = topo.device(rack).label("prefixes")
+            loaded = restored.device(rack).label("prefixes")
+            assert loaded == original
+            assert all(isinstance(p, tuple) for p in loaded)
+
+    def test_file_roundtrip(self, tmp_path):
+        topo = internet2()
+        path = str(tmp_path / "topo.json")
+        save_topology(path, topo)
+        assert load_topology(path).links() == topo.links()
+
+    def test_bad_version_rejected(self):
+        payload = topology_to_dict(internet2())
+        payload["version"] = 99
+        with pytest.raises(ReproError):
+            topology_from_dict(payload)
+
+    def test_non_dense_ids_rejected(self):
+        payload = topology_to_dict(internet2())
+        payload["devices"][0]["id"] = 42
+        with pytest.raises(ReproError):
+            topology_from_dict(payload)
+
+
+class TestLayoutRoundtrip:
+    def test_roundtrip(self):
+        layout = dst_src_layout(12, 6)
+        restored = layout_from_dict(layout_to_dict(layout))
+        assert restored.field_names() == layout.field_names()
+        assert restored.total_bits == layout.total_bits
+
+
+class TestBundles:
+    def _make(self, tmp_path):
+        topo = fabric(pods=2, tors_per_pod=2, fabrics_per_pod=2, spines_per_plane=1)
+        layout = dst_only_layout(8)
+        updates = inserts_only(std_fib(topo, layout))
+        directory = str(tmp_path / "bundle")
+        save_bundle(
+            directory, "mini-fabric", topo, layout, updates,
+            metadata={"source": "generated"},
+        )
+        return directory, topo, layout, updates
+
+    def test_save_load_roundtrip(self, tmp_path):
+        directory, topo, layout, updates = self._make(tmp_path)
+        bundle = load_bundle(directory)
+        assert bundle.name == "mini-fabric"
+        assert bundle.topology.num_devices == topo.num_devices
+        assert bundle.layout.total_bits == layout.total_bits
+        assert list(bundle.updates()) == updates
+        assert bundle.update_count() == len(updates)
+        assert bundle.metadata["source"] == "generated"
+
+    def test_bundle_verifies_with_flash(self, tmp_path):
+        from repro.flash import Flash
+
+        directory, *_ = self._make(tmp_path)
+        bundle = load_bundle(directory)
+        flash = Flash(bundle.topology, bundle.layout, check_loops=True)
+        flash.verify_offline(list(bundle.updates()))
+        assert flash.first_violation() is None
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_bundle(str(tmp_path))

@@ -1,0 +1,113 @@
+"""Property tests for Delta-net*'s atom maintenance invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.deltanet import DeltaNetVerifier
+from repro.dataplane.fib import FibSnapshot
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import delete, insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match, Pattern
+
+LAYOUT = dst_only_layout(4)
+DEVICES = [0, 1]
+
+
+@st.composite
+def update_sequences(draw):
+    """Interleaved inserts and (valid) deletes with unique priorities."""
+    events = []
+    installed = {d: [] for d in DEVICES}
+    used = {d: set() for d in DEVICES}
+    for _ in range(draw(st.integers(0, 12))):
+        device = draw(st.integers(0, 1))
+        if installed[device] and draw(st.booleans()):
+            victim = draw(st.sampled_from(installed[device]))
+            installed[device].remove(victim)
+            events.append(delete(device, victim))
+            continue
+        priority = draw(st.integers(0, 40))
+        if priority in used[device]:
+            continue
+        used[device].add(priority)
+        if draw(st.booleans()):
+            match = Match.dst_prefix(
+                draw(st.integers(0, 15)), draw(st.integers(0, 4)), LAYOUT
+            )
+        else:
+            match = Match(
+                {"dst": Pattern.suffix(draw(st.integers(0, 15)),
+                                       draw(st.integers(0, 4)), 4)}
+            )
+        rule = Rule(priority, match, draw(st.sampled_from([1, 2, DROP])))
+        installed[device].append(rule)
+        events.append(insert(device, rule))
+    return events
+
+
+class TestAtomInvariants:
+    @given(update_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_atoms_partition_universe(self, events):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.process_updates(events)
+        bounds = v._bounds
+        assert bounds[0] == 0
+        assert bounds == sorted(set(bounds))
+        assert all(0 <= b < LAYOUT.universe_size for b in bounds)
+
+    @given(update_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_owner_matches_fib_semantics(self, events):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        snapshot = FibSnapshot(DEVICES)
+        v.process_updates(events)
+        for u in events:
+            table = snapshot.table(u.device)
+            if u.is_insert:
+                table.insert(u.rule)
+            else:
+                table.delete(u.rule)
+        for header in range(LAYOUT.universe_size):
+            values = LAYOUT.unflatten(header)
+            assert v.behavior(values) == snapshot.behavior(values)
+
+    @given(update_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_behavior_constant_within_atom(self, events):
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.process_updates(events)
+        bounds = list(v._bounds) + [LAYOUT.universe_size]
+        for lo, hi in zip(bounds, bounds[1:]):
+            behaviors = {
+                tuple(sorted(v.behavior(LAYOUT.unflatten(h)).items()))
+                for h in range(lo, hi)
+            }
+            assert len(behaviors) == 1, (lo, hi)
+
+    @given(update_sequences())
+    @settings(max_examples=30, deadline=None)
+    def test_memory_shrinks_after_full_teardown(self, events):
+        """Deleting everything returns the per-atom cell storage to zero."""
+        v = DeltaNetVerifier(DEVICES, LAYOUT)
+        v.process_updates(events)
+        installed = {}
+        for u in events:
+            key = (u.device, u.rule)
+            if u.is_insert:
+                installed[key] = u
+            else:
+                installed.pop(key, None)
+        v.process_updates(
+            delete(device, rule) for (device, rule) in list(installed)
+        )
+        stored = sum(
+            len(cell.rules)
+            for cells in v._cells.values()
+            for cell in cells.values()
+        )
+        assert stored == 0
+        for header in range(0, LAYOUT.universe_size, 3):
+            assert v.behavior(LAYOUT.unflatten(header)) == {0: DROP, 1: DROP}

@@ -1,0 +1,155 @@
+"""End-to-end dispatcher properties under randomized multi-epoch arrivals.
+
+Complements test_consistency_properties (single-verifier) by driving the
+full Flash dispatcher: devices progress through a chain of epochs with
+cumulative FIB diffs, arrival order across devices is random, and some
+devices lag behind (long tail).  Properties:
+
+* within one epoch, deterministic verdicts never contradict each other;
+* the newest epoch's verdict equals a from-scratch verification of the
+  final FIB state;
+* stale-epoch verifiers never outlive their epoch.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce2d.results import LoopReport, Verdict
+from repro.dataplane.fib import FibSnapshot
+from repro.dataplane.rule import DROP, Rule, next_hops_of
+from repro.dataplane.update import delete, insert
+from repro.flash import Flash
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.topology import Topology
+
+LAYOUT = dst_only_layout(3)
+
+
+def random_topology(rng):
+    n = rng.randint(4, 6)
+    topo = Topology()
+    for i in range(n):
+        topo.add_device(f"s{i}")
+    for i in range(1, n):
+        topo.add_link(i, rng.randrange(i))
+    for _ in range(rng.randint(1, n)):
+        u, v = rng.sample(range(n), 2)
+        if not topo.has_link(u, v):
+            topo.add_link(u, v)
+    return topo
+
+
+def random_rule(topo, device, pri, rng):
+    action = rng.choice(sorted(topo.neighbors(device)) + [DROP])
+    length = rng.randint(0, 2)
+    value = rng.randrange(8)
+    if action == DROP:
+        return None
+    return Rule(pri, Match.dst_prefix(value, length, LAYOUT), action)
+
+
+def build_epoch_chain(topo, rng, epochs=3):
+    """Per device, a chain of cumulative FIB states with diff updates."""
+    state = {d: {} for d in topo.switches()}  # device → {pri: rule}
+    batches = {d: [] for d in topo.switches()}  # device → [(tag, updates)]
+    for e in range(epochs):
+        tag = f"e{e}"
+        for device in topo.switches():
+            updates = []
+            # Each epoch, each device re-rolls one priority slot.
+            pri = rng.randint(1, 2)
+            old = state[device].get(pri)
+            new = random_rule(topo, device, pri, rng)
+            if old is not None and old != new:
+                updates.append(delete(device, old, epoch=tag))
+                del state[device][pri]
+            if new is not None and new != old:
+                updates.append(insert(device, new, epoch=tag))
+                state[device][pri] = new
+            batches[device].append((tag, updates))
+    return batches, state
+
+
+def brute_force_loop(topo, final_state):
+    snapshot = FibSnapshot(topo.switches())
+    for device, rules in final_state.items():
+        for rule in rules.values():
+            snapshot.table(device).insert(rule)
+    for header in range(LAYOUT.universe_size):
+        values = LAYOUT.unflatten(header)
+        for start in topo.switches():
+            current, seen = start, set()
+            while True:
+                if current in seen:
+                    return True
+                seen.add(current)
+                hops = next_hops_of(snapshot.table(current).lookup(values))
+                if not hops or hops[0] not in snapshot.tables:
+                    break
+                current = hops[0]
+    return False
+
+
+class TestDispatcherEndToEnd:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_final_epoch_matches_ground_truth(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        batches, final_state = build_epoch_chain(topo, rng)
+        flash = Flash(topo, LAYOUT, check_loops=True)
+        # Random interleaving preserving per-device epoch order.
+        pending = {d: list(b) for d, b in batches.items()}
+        while any(pending.values()):
+            device = rng.choice([d for d, b in pending.items() if b])
+            tag, updates = pending[device].pop(0)
+            flash.receive(device, tag, updates)
+        expected = brute_force_loop(topo, final_state)
+        final_reports = [
+            r
+            for r in flash.dispatcher.reports
+            if isinstance(r, LoopReport) and r.epoch == "e2"
+        ]
+        assert final_reports
+        final = final_reports[-1].verdict
+        assert final is (Verdict.VIOLATED if expected else Verdict.SATISFIED), seed
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_no_contradictions_within_epoch(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        batches, _ = build_epoch_chain(topo, rng)
+        flash = Flash(topo, LAYOUT, check_loops=True)
+        pending = {d: list(b) for d, b in batches.items()}
+        while any(pending.values()):
+            device = rng.choice([d for d, b in pending.items() if b])
+            tag, updates = pending[device].pop(0)
+            flash.receive(device, tag, updates)
+        per_epoch = {}
+        for r in flash.dispatcher.reports:
+            if not isinstance(r, LoopReport):
+                continue
+            per_epoch.setdefault(r.epoch, []).append(r.verdict)
+        for epoch, verdicts in per_epoch.items():
+            deterministic = {v for v in verdicts if v is not Verdict.UNKNOWN}
+            assert len(deterministic) <= 1, (seed, epoch, verdicts)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_stale_verifiers_garbage_collected(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        batches, _ = build_epoch_chain(topo, rng)
+        flash = Flash(topo, LAYOUT, check_loops=True)
+        for device, chain in batches.items():
+            for tag, updates in chain:
+                flash.receive(device, tag, updates)
+        # Every device reported e2, so e0/e1 are inactive and dropped.
+        assert flash.dispatcher.verifier_for("e0") is None
+        assert flash.dispatcher.verifier_for("e1") is None
+        assert flash.dispatcher.verifier_for("e2") is not None

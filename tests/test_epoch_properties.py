@@ -1,0 +1,142 @@
+"""Property tests for epoch tracking and dispatch under arbitrary orders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce2d.epoch import EpochTracker
+from repro.headerspace.fields import dst_only_layout
+from repro.network.generators import internet2, ring
+from repro.routing.openr import OpenRSimulation
+
+LAYOUT = dst_only_layout(8)
+
+
+@st.composite
+def epoch_schedules(draw):
+    """Per-device monotone epoch sequences, interleaved arbitrarily.
+
+    Devices progress through a global epoch chain e0 < e1 < ... but may
+    skip epochs; the interleaving across devices is arbitrary (that is the
+    paper's only delivery guarantee).
+    """
+    devices = draw(st.integers(2, 4))
+    chain_length = draw(st.integers(1, 5))
+    events = []
+    for device in range(devices):
+        indexes = draw(
+            st.lists(
+                st.integers(0, chain_length - 1),
+                min_size=1,
+                max_size=chain_length,
+                unique=True,
+            )
+        )
+        for idx in sorted(indexes):
+            events.append((device, f"e{idx}"))
+    # Interleave while preserving per-device order.
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    per_device = {}
+    for device, tag in events:
+        per_device.setdefault(device, []).append(tag)
+    interleaved = []
+    pending = {d: list(tags) for d, tags in per_device.items()}
+    while any(pending.values()):
+        candidates = [d for d, tags in pending.items() if tags]
+        device = rng.choice(candidates)
+        interleaved.append((device, pending[device].pop(0)))
+    return interleaved
+
+
+def brute_force_active(observations):
+    """Ground truth: a tag is active iff it was observed and never followed
+    by a different tag on any device that reported it."""
+    succeeded = set()
+    seen = set()
+    last = {}
+    for device, tag in observations:
+        old = last.get(device)
+        if old is not None and old != tag:
+            succeeded.add(old)
+        last[device] = tag
+        seen.add(tag)
+    return {t for t in seen if t not in succeeded}
+
+
+class TestEpochTrackerProperties:
+    @given(epoch_schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_active_set_matches_brute_force(self, schedule):
+        tracker = EpochTracker()
+        for device, tag in schedule:
+            tracker.observe(device, tag)
+        assert tracker.active_tags() == brute_force_active(schedule)
+
+    @given(epoch_schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_inactive_is_permanent(self, schedule):
+        """Once a tag is proven stale it never becomes active again."""
+        tracker = EpochTracker()
+        ever_inactive = set()
+        all_tags = {t for _, t in schedule}
+        for device, tag in schedule:
+            tracker.observe(device, tag)
+            for dead in ever_inactive:
+                assert not tracker.is_active(dead)
+            ever_inactive |= {t for t in all_tags if tracker.is_inactive(t)}
+
+    @given(epoch_schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_latest_tag_per_device(self, schedule):
+        tracker = EpochTracker()
+        last = {}
+        for device, tag in schedule:
+            tracker.observe(device, tag)
+            last[device] = tag
+        for device, tag in last.items():
+            assert tracker.latest_of(device) == tag
+
+
+class TestSimulationDeterminism:
+    def test_same_seed_same_batches(self):
+        def run():
+            topo = internet2()
+            sim = OpenRSimulation(topo, LAYOUT, seed=9)
+            sim.bootstrap()
+            sim.run()
+            sim.fail_link_by_name("chic", "kans", at=sim.loop.now + 0.2)
+            sim.run()
+            return [
+                (round(b.time, 9), b.device, b.tag, len(b.updates))
+                for b in sim.batches
+            ]
+
+        assert run() == run()
+
+    def test_different_seed_different_timing(self):
+        topo = internet2()
+        sims = []
+        for seed in (1, 2):
+            sim = OpenRSimulation(topo, LAYOUT, seed=seed)
+            sim.bootstrap()
+            sim.run()
+            sims.append([round(b.time, 9) for b in sim.batches])
+        assert sims[0] != sims[1]
+
+    def test_epoch_tags_identical_across_devices_per_state(self):
+        topo = ring(4)
+        sim = OpenRSimulation(topo, LAYOUT, seed=3)
+        sim.bootstrap()
+        sim.run()
+        sim.fail_link(0, 1, at=sim.loop.now + 0.1)
+        sim.run()
+        tags_per_epoch = {}
+        for b in sim.batches:
+            tags_per_epoch.setdefault(b.tag, set()).add(b.device)
+        # Two network states → exactly two distinct tags, each reported by
+        # every switch.
+        assert len(tags_per_epoch) == 2
+        for devices in tags_per_epoch.values():
+            assert devices == set(topo.switches())

@@ -1,0 +1,130 @@
+"""End-to-end tests for the Flash facade (Figure 1 workflow)."""
+
+import pytest
+
+from repro import (
+    DROP,
+    Flash,
+    Match,
+    Rule,
+    SubspacePartition,
+    Verdict,
+    dst_only_layout,
+    insert,
+    internet2,
+    requirement,
+)
+from repro.ce2d.results import LoopReport
+from repro.network.generators import fabric, figure3_example, ring
+from repro.routing.openr import OpenRSimulation
+
+LAYOUT = dst_only_layout(8)
+
+
+def fwd(topo, u, v, pri=1):
+    return insert(topo.id_of(u), Rule(pri, Match.wildcard(), topo.id_of(v)))
+
+
+class TestFlashOnline:
+    def test_loop_detection_via_epochs(self):
+        topo = ring(4)
+        flash = Flash(topo, LAYOUT)
+        flash.receive(0, "e1", [insert(0, Rule(1, Match.wildcard(), 1))])
+        reports = flash.receive(1, "e1", [insert(1, Rule(1, Match.wildcard(), 0))])
+        assert any(r.verdict is Verdict.VIOLATED for r in reports)
+        assert flash.first_violation() is not None
+
+    def test_requirement_verification(self):
+        topo = figure3_example()
+        req = requirement(
+            "waypoint", topo, LAYOUT, Match.wildcard(), ["S"], "S .* [W|Y] .* D"
+        )
+        flash = Flash(topo, LAYOUT, requirements=[req], check_loops=False)
+        flash.receive(topo.id_of("S"), "e", [fwd(topo, "S", "A")])
+        reports = flash.receive(topo.id_of("A"), "e", [fwd(topo, "A", "S")])
+        assert any(r.verdict is Verdict.VIOLATED for r in reports)
+
+    def test_epoch_switch_discards_stale_verifier(self):
+        topo = ring(4)
+        flash = Flash(topo, LAYOUT)
+        flash.receive(0, "e1", [insert(0, Rule(1, Match.wildcard(), 1))])
+        flash.receive(0, "e2", [insert(0, Rule(2, Match.wildcard(), 3))])
+        assert flash.dispatcher.verifier_for("e1") is None
+        assert flash.dispatcher.verifier_for("e2") is not None
+
+
+class TestFlashOffline:
+    def test_offline_loop_free(self):
+        topo = ring(4)
+        flash = Flash(topo, LAYOUT)
+        updates = [
+            insert(0, Rule(1, Match.wildcard(), 1)),
+            insert(1, Rule(1, Match.wildcard(), 2)),
+            insert(2, Rule(1, Match.wildcard(), 3)),
+            # device 3 drops: no loop
+        ]
+        reports = flash.verify_offline(updates)
+        loops = [r for r in reports if isinstance(r, LoopReport)]
+        assert loops[-1].verdict is Verdict.SATISFIED
+
+    def test_offline_loop_found(self):
+        topo = ring(4)
+        flash = Flash(topo, LAYOUT)
+        updates = [
+            insert(0, Rule(1, Match.wildcard(), 1)),
+            insert(1, Rule(1, Match.wildcard(), 2)),
+            insert(2, Rule(1, Match.wildcard(), 3)),
+            insert(3, Rule(1, Match.wildcard(), 0)),
+        ]
+        flash.verify_offline(updates)
+        assert flash.first_violation() is not None
+
+
+class TestFlashWithSubspaces:
+    def test_partitioned_loop_detection(self):
+        topo = ring(4)
+        partition = SubspacePartition.dst_prefix_partition(
+            LAYOUT, [(0x00, 1), (0x80, 1)]
+        )
+        flash = Flash(topo, LAYOUT, partition=partition)
+        # Loop only in the high half of the space.
+        high = Match.dst_prefix(0x80, 1, LAYOUT)
+        flash.receive(0, "e", [insert(0, Rule(2, high, 1))])
+        reports = flash.receive(1, "e", [insert(1, Rule(2, high, 0))])
+        assert any(r.verdict is Verdict.VIOLATED for r in reports)
+
+    def test_partitioned_requirements_routed(self):
+        topo = figure3_example()
+        partition = SubspacePartition.dst_prefix_partition(
+            LAYOUT, [(0x00, 1), (0x80, 1)]
+        )
+        low_req = requirement(
+            "low-reach",
+            topo,
+            LAYOUT,
+            Match.dst_prefix(0x00, 1, LAYOUT),
+            ["S"],
+            "S .* D",
+        )
+        flash = Flash(
+            topo, LAYOUT, requirements=[low_req], partition=partition,
+            check_loops=False,
+        )
+        group = flash._make_verifier("e")
+        # Requirement only attached to the low subspace's verifier.
+        attached = [len(v.regex_verifiers) for v in group.members]
+        assert attached == [1, 0]
+
+
+class TestFlashWithSimulation:
+    def test_attach_to_simulation(self):
+        topo = internet2()
+        buggy = topo.id_of("kans")
+        sim = OpenRSimulation(topo, LAYOUT, buggy_nodes=[buggy], seed=2)
+        flash = Flash(topo, LAYOUT)
+        flash.attach_to(sim)
+        sim.bootstrap()
+        sim.run()
+        violation = flash.first_violation()
+        assert violation is not None
+        assert violation.verdict is Verdict.VIOLATED

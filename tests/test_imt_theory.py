@@ -1,0 +1,163 @@
+"""Tests for the formal IMT theory of Appendix C.
+
+Checks the algebraic laws the MR2 correctness proof rests on:
+
+* Lemma 1 — model overwrite is associative (sequential application of
+  blocks equals one combined application);
+* Theorem 3 — atomic overwrites commute;
+* Theorems 4/5 — Reduce I / Reduce II preserve the resulting model;
+* Theorem 1/2 — natural transformation and incremental IMT agree.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.predicate import PredicateEngine
+from repro.core.actiontree import ActionTreeStore
+from repro.core.imt import natural_transformation
+from repro.core.inverse_model import InverseModel
+from repro.core.model_manager import ModelManager
+from repro.core.mr2 import aggregate, reduce_by_action, reduce_by_predicate
+from repro.core.overwrite import Overwrite, atomic
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match, MatchCompiler
+
+from .conftest import assert_model_matches_snapshot, random_rule_strategy
+
+LAYOUT = dst_only_layout(4)
+DEVICES = [0, 1, 2]
+ACTIONS = [1, 2, 3]
+
+
+def fresh_model():
+    engine = PredicateEngine(LAYOUT.total_bits)
+    store = ActionTreeStore()
+    compiler = MatchCompiler(engine, LAYOUT)
+    return engine, store, compiler, InverseModel(engine, store, DEVICES)
+
+
+def model_fingerprint(model):
+    return frozenset((p.node, v) for p, v in model.entries())
+
+
+@st.composite
+def atomic_overwrite_specs(draw):
+    """Specs (device, prefix-value, prefix-len, action) for atomic overwrites.
+
+    Overwrites on the same device are made disjoint by construction is NOT
+    enforced here — commutativity (Theorem 3) holds for conflict-free sets,
+    so same-device specs draw distinct prefixes of the same length.
+    """
+    count = draw(st.integers(1, 4))
+    length = draw(st.integers(1, 3))
+    specs = []
+    used = {}
+    for _ in range(count):
+        device = draw(st.integers(0, len(DEVICES) - 1))
+        slot = draw(st.integers(0, (1 << length) - 1))
+        if slot in used.setdefault(device, set()):
+            continue  # keep same-device predicates disjoint (conflict-free)
+        used[device].add(slot)
+        action = draw(st.sampled_from(ACTIONS))
+        specs.append((device, slot << (4 - length), length, action))
+    return specs
+
+
+def build_overwrites(compiler, specs):
+    return [
+        atomic(
+            compiler.compile(Match.dst_prefix(value, length, LAYOUT)),
+            device,
+            action,
+        )
+        for device, value, length, action in specs
+    ]
+
+
+class TestTheorem3Commutativity:
+    @given(atomic_overwrite_specs(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_atomic_overwrites_commute(self, specs, rng):
+        engine, store, compiler, model_a = fresh_model()
+        model_b = InverseModel(engine, store, DEVICES)
+        ows = build_overwrites(compiler, specs)
+        shuffled = list(ows)
+        rng.shuffle(shuffled)
+        # Apply one by one, in two different orders.
+        for ow in ows:
+            model_a.apply_overwrites([ow])
+        for ow in shuffled:
+            model_b.apply_overwrites([ow])
+        assert model_fingerprint(model_a) == model_fingerprint(model_b)
+
+
+class TestLemma1Associativity:
+    @given(atomic_overwrite_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_blockwise_equals_stepwise(self, specs):
+        engine, store, compiler, model_block = fresh_model()
+        model_steps = InverseModel(engine, store, DEVICES)
+        ows = build_overwrites(compiler, specs)
+        model_block.apply_overwrites(ows)
+        for ow in ows:
+            model_steps.apply_overwrites([ow])
+        assert model_fingerprint(model_block) == model_fingerprint(model_steps)
+
+
+class TestReduceTheorems:
+    @given(atomic_overwrite_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_aggregation_preserves_model(self, specs):
+        engine, store, compiler, model_raw = fresh_model()
+        model_agg = InverseModel(engine, store, DEVICES)
+        ows = build_overwrites(compiler, specs)
+        model_raw.apply_overwrites(ows)
+        model_agg.apply_overwrites(aggregate(ows))
+        assert model_fingerprint(model_raw) == model_fingerprint(model_agg)
+
+    @given(atomic_overwrite_specs())
+    @settings(max_examples=40, deadline=None)
+    def test_reduce_i_alone_preserves_model(self, specs):
+        engine, store, compiler, model_raw = fresh_model()
+        model_red = InverseModel(engine, store, DEVICES)
+        ows = build_overwrites(compiler, specs)
+        model_raw.apply_overwrites(ows)
+        model_red.apply_overwrites(reduce_by_action(ows))
+        assert model_fingerprint(model_raw) == model_fingerprint(model_red)
+
+    def test_reduce_counts(self):
+        engine, store, compiler, _ = fresh_model()
+        p = compiler.compile(Match.dst_prefix(0, 1, LAYOUT))
+        q = compiler.compile(Match.dst_prefix(8, 1, LAYOUT))
+        ows = [atomic(p, 0, 1), atomic(q, 0, 1), atomic(p, 1, 2), atomic(p, 2, 3)]
+        after_i = reduce_by_action(ows)
+        assert len(after_i) == 3  # (0,1) merged across p,q
+        after_ii = reduce_by_predicate(after_i)
+        assert len(after_ii) == 2  # (1,2) and (2,3) share predicate p
+
+
+class TestTheorem2Equivalence:
+    @given(
+        st.lists(random_rule_strategy(LAYOUT, ACTIONS), max_size=10), st.data()
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_equals_natural(self, rules, data):
+        manager = ModelManager(DEVICES, LAYOUT)
+        updates = [
+            insert(data.draw(st.integers(0, 2), label="dev"), r) for r in rules
+        ]
+        half = len(updates) // 2
+        manager.submit(updates[:half])
+        manager.flush()
+        manager.submit(updates[half:])
+        manager.flush()
+        natural = natural_transformation(
+            manager.snapshot, manager.compiler, manager.store
+        )
+        assert model_fingerprint(manager.model) == model_fingerprint(natural)
+        assert_model_matches_snapshot(manager.model, manager.snapshot, LAYOUT)

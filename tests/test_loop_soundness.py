@@ -1,0 +1,182 @@
+"""Soundness of early loop detection (the Appendix-D.4 guarantee) plus the
+§5.1 custom-checker extension point.
+
+The strongest test we can run: when the detector claims VIOLATED from
+*partial* information, every possible completion of the unsynchronised
+devices' FIBs must still contain that loop; and on fully-synchronised
+models the verdict must match a brute-force cycle search over every EC.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ce2d.results import Verdict, VerificationReport
+from repro.ce2d.verifier import Checker, SubspaceVerifier
+from repro.dataplane.rule import DROP, Rule, next_hops_of
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.topology import Topology
+
+LAYOUT = dst_only_layout(3)
+
+
+def random_topology(rng):
+    n = rng.randint(4, 6)
+    topo = Topology()
+    for i in range(n):
+        topo.add_device(f"s{i}")
+    for i in range(1, n):
+        topo.add_link(i, rng.randrange(i))
+    for _ in range(rng.randint(1, n)):
+        u, v = rng.sample(range(n), 2)
+        if not topo.has_link(u, v):
+            topo.add_link(u, v)
+    return topo
+
+
+def random_action(topo, device, rng):
+    return rng.choice(sorted(topo.neighbors(device)) + [DROP])
+
+
+def random_fibs(topo, rng):
+    fibs = {}
+    halves = [Match.dst_prefix(0, 1, LAYOUT), Match.dst_prefix(4, 1, LAYOUT)]
+    for switch in topo.switches():
+        updates = []
+        for pri, half in enumerate(halves, start=1):
+            action = random_action(topo, switch, rng)
+            if action != DROP:
+                updates.append(insert(switch, Rule(pri, half, action)))
+        fibs[switch] = updates
+    return fibs
+
+
+def brute_force_has_loop(topo, fibs):
+    """Ground truth on a complete data plane: walk every header from every
+    switch and look for a revisit."""
+    from repro.dataplane.fib import FibSnapshot
+
+    snapshot = FibSnapshot(topo.switches())
+    for updates in fibs.values():
+        for u in updates:
+            snapshot.table(u.device).insert(u.rule)
+    for header in range(LAYOUT.universe_size):
+        values = LAYOUT.unflatten(header)
+        for start in topo.switches():
+            current, seen = start, set()
+            while True:
+                if current in seen:
+                    return True
+                seen.add(current)
+                action = snapshot.table(current).lookup(values)
+                hops = next_hops_of(action)
+                if not hops or hops[0] not in snapshot.tables:
+                    break
+                current = hops[0]
+    return False
+
+
+class TestFullSyncMatchesBruteForce:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_converged_verdict_equals_ground_truth(self, seed):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        fibs = random_fibs(topo, rng)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        for device in topo.switches():
+            reports = verifier.receive(device, fibs[device])
+        expected = brute_force_has_loop(topo, fibs)
+        final = reports[0].verdict
+        assert final is (Verdict.VIOLATED if expected else Verdict.SATISFIED), seed
+
+
+class TestPartialSyncSoundness:
+    @given(st.integers(0, 10_000), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_early_violation_survives_any_completion(self, seed, data):
+        rng = random.Random(seed)
+        topo = random_topology(rng)
+        fibs = random_fibs(topo, rng)
+        switches = list(topo.switches())
+        rng.shuffle(switches)
+        verifier = SubspaceVerifier(topo, LAYOUT, check_loops=True)
+        violated_after = None
+        for i, device in enumerate(switches):
+            reports = verifier.receive(device, fibs[device])
+            if reports[0].verdict is Verdict.VIOLATED:
+                violated_after = i
+                break
+        if violated_after is None:
+            return  # nothing to check this run
+        synced = switches[: violated_after + 1]
+        unsynced = switches[violated_after + 1 :]
+        # Any completion of the unsynced FIBs must still loop: try several
+        # random completions plus the all-drop completion.
+        completions = [dict.fromkeys(unsynced, [])]
+        for _ in range(3):
+            crng = random.Random(data.draw(st.integers(0, 10_000)))
+            completions.append(
+                {d: random_fibs(topo, crng)[d] for d in unsynced}
+            )
+        for completion in completions:
+            candidate = {d: fibs[d] for d in synced}
+            candidate.update(completion)
+            assert brute_force_has_loop(topo, candidate), (
+                seed,
+                synced,
+                completion,
+            )
+
+
+class TestCustomChecker:
+    """The §5.1 extension point: a blackhole (all-DROP device) detector."""
+
+    class BlackholeChecker(Checker):
+        def __init__(self, topology):
+            self.topology = topology
+            self.blackholes = set()
+
+        def on_model_update(self, deltas, new_synced, model):
+            for device in new_synced:
+                if all(
+                    model.action_of(d.vector, device) in (DROP, None)
+                    for d in deltas
+                ):
+                    self.blackholes.add(device)
+            return VerificationReport(
+                requirement="no-blackholes",
+                verdict=Verdict.VIOLATED if self.blackholes else Verdict.UNKNOWN,
+                detail=f"blackholes={sorted(self.blackholes)}",
+            )
+
+    def test_custom_checker_runs_and_reports(self):
+        topo = random_topology(random.Random(1))
+        verifier = SubspaceVerifier(topo, LAYOUT)
+        checker = self.BlackholeChecker(topo)
+        verifier.add_checker(checker)
+        first = topo.switches()[0]
+        reports = verifier.receive(first, [])  # all-DROP device
+        assert reports[-1].verdict is Verdict.VIOLATED
+        assert first in checker.blackholes
+        assert "blackholes" in reports[-1].detail
+
+    def test_custom_checker_sees_every_sync(self):
+        topo = random_topology(random.Random(2))
+        verifier = SubspaceVerifier(topo, LAYOUT)
+        seen = []
+
+        class Recorder(Checker):
+            def on_model_update(self, deltas, new_synced, model):
+                seen.extend(new_synced)
+                return VerificationReport("rec", Verdict.UNKNOWN)
+
+        verifier.add_checker(Recorder())
+        for device in topo.switches():
+            verifier.receive(device, [])
+        assert seen == topo.switches()

@@ -1,0 +1,115 @@
+"""Cross-verifier agreement on MULTI-FIELD data planes (the ecmp shape).
+
+The single-field agreement suite lives in test_baselines.py; this one
+stresses the representations where they diverge most: two-field matches
+(dst × src), where Delta-net*'s flattened intervals must enumerate dst
+values and BDDs must interleave fields.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.apkeep import APKeepVerifier
+from repro.baselines.deltanet import DeltaNetVerifier
+from repro.core.model_manager import ModelManager
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import delete, insert
+from repro.headerspace.fields import dst_src_layout
+from repro.headerspace.match import Match, Pattern
+
+LAYOUT = dst_src_layout(3, 3)
+DEVICES = [0, 1]
+
+
+@st.composite
+def two_field_blocks(draw):
+    count = draw(st.integers(0, 8))
+    updates = []
+    used = {d: set() for d in DEVICES}
+    for _ in range(count):
+        device = draw(st.integers(0, 1))
+        priority = draw(st.integers(0, 20))
+        if priority in used[device]:
+            continue
+        used[device].add(priority)
+        patterns = {}
+        if draw(st.booleans()):
+            length = draw(st.integers(0, 3))
+            patterns["dst"] = Pattern.prefix(draw(st.integers(0, 7)), length, 3)
+        if draw(st.booleans()):
+            length = draw(st.integers(0, 3))
+            patterns["src"] = Pattern.prefix(draw(st.integers(0, 7)), length, 3)
+        if draw(st.booleans()) and "dst" not in patterns:
+            patterns["dst"] = Pattern.suffix(
+                draw(st.integers(0, 7)), draw(st.integers(1, 3)), 3
+            )
+        action = draw(st.sampled_from([1, 2, DROP]))
+        updates.append(insert(device, Rule(priority, Match(patterns), action)))
+    return updates
+
+
+def bits_of(values):
+    out = {}
+    for name in LAYOUT.field_names():
+        out.update(dict(LAYOUT.bits_of(name, values[name])))
+    return out
+
+
+@given(two_field_blocks())
+@settings(max_examples=30, deadline=None)
+def test_three_verifiers_agree_exhaustively(updates):
+    flash = ModelManager(DEVICES, LAYOUT)
+    apkeep = APKeepVerifier(DEVICES, LAYOUT)
+    deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
+    flash.submit(updates)
+    flash.flush()
+    apkeep.process_updates(updates)
+    deltanet.process_updates(updates)
+    for header in range(LAYOUT.universe_size):
+        values = LAYOUT.unflatten(header)
+        expected = flash.snapshot.behavior(values)
+        assert flash.model.behavior(bits_of(values)) == expected
+        assert apkeep.behavior(bits_of(values)) == expected
+        assert deltanet.behavior(values) == expected
+
+
+@given(two_field_blocks(), st.data())
+@settings(max_examples=20, deadline=None)
+def test_agreement_survives_deletions(updates, data):
+    flash = ModelManager(DEVICES, LAYOUT)
+    apkeep = APKeepVerifier(DEVICES, LAYOUT)
+    deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
+    flash.submit(updates)
+    flash.flush()
+    apkeep.process_updates(updates)
+    deltanet.process_updates(updates)
+    if updates:
+        doomed = data.draw(
+            st.lists(st.sampled_from(updates), unique=True, max_size=3)
+        )
+        deletions = [delete(u.device, u.rule) for u in doomed]
+        flash.submit(deletions)
+        flash.flush()
+        apkeep.process_updates(deletions)
+        deltanet.process_updates(deletions)
+    flash.model.check_invariants()
+    apkeep.check_invariants()
+    for header in range(0, LAYOUT.universe_size, 3):
+        values = LAYOUT.unflatten(header)
+        expected = flash.snapshot.behavior(values)
+        assert apkeep.behavior(bits_of(values)) == expected
+        assert deltanet.behavior(values) == expected
+
+
+@given(two_field_blocks())
+@settings(max_examples=20, deadline=None)
+def test_interval_expansion_accounting(updates):
+    """Delta-net* atom count upper-bounds Flash's EC count (atoms refine ECs)."""
+    flash = ModelManager(DEVICES, LAYOUT)
+    deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
+    flash.submit(updates)
+    flash.flush()
+    deltanet.process_updates(updates)
+    assert deltanet.num_ecs() == flash.num_ecs()
+    assert deltanet.num_atoms >= flash.num_ecs()

@@ -1,0 +1,144 @@
+"""Tests for anycast / multicast / coverage early detection (Appendix D.2)."""
+
+import pytest
+
+from repro.ce2d.results import Verdict
+from repro.ce2d.verifier import SubspaceVerifier
+from repro.dataplane.rule import DROP, Rule, ecmp
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.topology import Topology
+from repro.spec.requirement import Multiplicity, requirement
+
+LAYOUT = dst_only_layout(4)
+
+
+def anycast_topology():
+    r"""A diamond with two destinations:
+
+        src → a → d1 (owns the space)
+            ↘ b → d2 (owns the space)
+    """
+    topo = Topology()
+    src = topo.add_device("src")
+    a = topo.add_device("a")
+    b = topo.add_device("b")
+    d1 = topo.add_external("d1", prefixes=[(0, 0)])
+    d2 = topo.add_external("d2", prefixes=[(0, 0)])
+    topo.add_link(src, a)
+    topo.add_link(src, b)
+    topo.add_link(a, d1)
+    topo.add_link(b, d2)
+    return topo, src, a, b, d1, d2
+
+
+def fwd(device, target):
+    return insert(device, Rule(1, Match.wildcard(), target))
+
+
+class TestAnycast:
+    def _verifier(self, topo):
+        req = requirement(
+            "anycast",
+            topo,
+            LAYOUT,
+            Match.wildcard(),
+            ["src"],
+            "src . >",
+            Multiplicity.ANYCAST,
+        )
+        return SubspaceVerifier(topo, LAYOUT, requirements=[req])
+
+    def test_exactly_one_destination_satisfies(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        v = self._verifier(topo)
+        v.receive(src, [fwd(src, a)])
+        v.receive(a, [fwd(a, d1)])
+        reports = v.receive(b, [])  # b drops: d2 unreachable
+        assert reports[0].verdict is Verdict.SATISFIED
+
+    def test_zero_destinations_violates_early(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        v = self._verifier(topo)
+        reports = v.receive(src, [])  # src drops everything
+        assert reports[0].verdict is Verdict.VIOLATED
+
+    def test_two_destinations_violates_when_converged(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        v = self._verifier(topo)
+        v.receive(src, [insert(src, Rule(1, Match.wildcard(), ecmp(a, b)))])
+        v.receive(a, [fwd(a, d1)])
+        reports = v.receive(b, [fwd(b, d2)])
+        assert reports[0].verdict is Verdict.VIOLATED
+
+    def test_unknown_while_converging(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        v = self._verifier(topo)
+        reports = v.receive(src, [fwd(src, a)])
+        assert reports[0].verdict is Verdict.UNKNOWN
+
+
+class TestMulticast:
+    def _verifier(self, topo):
+        req = requirement(
+            "multicast",
+            topo,
+            LAYOUT,
+            Match.wildcard(),
+            ["src"],
+            "src . >",
+            Multiplicity.MULTICAST,
+        )
+        return SubspaceVerifier(topo, LAYOUT, requirements=[req])
+
+    def test_all_destinations_satisfies(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        v = self._verifier(topo)
+        v.receive(src, [insert(src, Rule(1, Match.wildcard(), ecmp(a, b)))])
+        v.receive(a, [fwd(a, d1)])
+        reports = v.receive(b, [fwd(b, d2)])
+        assert reports[0].verdict is Verdict.SATISFIED
+
+    def test_missing_destination_violates_early(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        v = self._verifier(topo)
+        # src forwards only toward a: d2's accepting node becomes
+        # unreachable immediately — early violation before a/b report.
+        reports = v.receive(src, [fwd(src, a)])
+        assert reports[0].verdict is Verdict.VIOLATED
+
+
+class TestCoverOnEcmp:
+    def test_cover_all_redundant_paths(self):
+        """'All redundant shortest paths should be available' (App. B)."""
+        topo, src, a, b, d1, d2 = anycast_topology()
+        req = requirement(
+            "cover-redundant",
+            topo,
+            LAYOUT,
+            Match.wildcard(),
+            ["src"],
+            "cover (src [a|b] >)",
+        )
+        v = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        # ECMP over both branches covers the path set.
+        v.receive(src, [insert(src, Rule(1, Match.wildcard(), ecmp(a, b)))])
+        v.receive(a, [fwd(a, d1)])
+        reports = v.receive(b, [fwd(b, d2)])
+        assert reports[0].verdict is Verdict.SATISFIED
+
+    def test_single_path_breaks_cover(self):
+        topo, src, a, b, d1, d2 = anycast_topology()
+        req = requirement(
+            "cover-redundant",
+            topo,
+            LAYOUT,
+            Match.wildcard(),
+            ["src"],
+            "cover (src [a|b] >)",
+        )
+        v = SubspaceVerifier(topo, LAYOUT, requirements=[req])
+        reports = v.receive(src, [fwd(src, a)])
+        assert reports[0].verdict is Verdict.VIOLATED
+        assert "misses" in reports[0].detail

@@ -1,0 +1,63 @@
+"""Tests for parallel subspace verification (repro.core.parallel)."""
+
+import pytest
+
+from repro.core.parallel import run_partitioned
+from repro.core.subspace import SubspacePartition
+from repro.dataplane.rule import Rule
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.generators import ring
+
+LAYOUT = dst_only_layout(6)
+
+
+def setup_workload():
+    topo = ring(4)
+    partition = SubspacePartition.dst_prefix_partition(
+        LAYOUT, [(0x00, 1), (0x20, 1)]
+    )
+    updates = [
+        insert(0, Rule(1, Match.dst_prefix(0x00, 1, LAYOUT), 1)),
+        insert(1, Rule(1, Match.dst_prefix(0x20, 1, LAYOUT), 2)),
+        insert(2, Rule(1, Match.wildcard(), 3)),
+    ]
+    return topo, partition, updates
+
+
+class TestSequential:
+    def test_routes_and_stats(self):
+        topo, partition, updates = setup_workload()
+        results, wall = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=None
+        )
+        assert len(results) == 2
+        assert wall >= 0
+        by_name = {r.subspace: r for r in results}
+        assert by_name["sub0"].updates == 2  # low-prefix rule + wildcard
+        assert by_name["sub1"].updates == 2
+        assert all(r.ecs >= 1 for r in results)
+
+    def test_zero_processes_means_sequential(self):
+        topo, partition, updates = setup_workload()
+        results, _ = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=0
+        )
+        assert len(results) == 2
+
+
+class TestParallelPool:
+    def test_pool_matches_sequential(self):
+        topo, partition, updates = setup_workload()
+        seq, _ = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=None
+        )
+        par, _ = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=2
+        )
+        for s, p in zip(seq, par):
+            assert s.subspace == p.subspace
+            assert s.ecs == p.ecs
+            assert s.predicate_ops == p.predicate_ops
+            assert s.updates == p.updates

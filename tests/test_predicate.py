@@ -1,0 +1,109 @@
+"""Tests for the counting predicate layer."""
+
+import pytest
+
+from repro.bdd.predicate import OpCounter, Predicate, PredicateEngine
+
+
+@pytest.fixture()
+def engine():
+    return PredicateEngine(8)
+
+
+class TestPredicateAlgebra:
+    def test_constants(self, engine):
+        assert engine.false.is_false
+        assert engine.true.is_true
+        assert not engine.true.is_false
+
+    def test_and_or_not(self, engine):
+        a, b = engine.variable(0), engine.variable(1)
+        assert ((a & b) | (a & ~b)) == a
+
+    def test_difference(self, engine):
+        a, b = engine.variable(0), engine.variable(1)
+        assert (a - b) == (a & ~b)
+
+    def test_xor(self, engine):
+        a, b = engine.variable(2), engine.variable(3)
+        assert (a ^ b) == ((a - b) | (b - a))
+
+    def test_intersects_and_covers(self, engine):
+        a = engine.variable(0)
+        ab = a & engine.variable(1)
+        assert a.intersects(ab)
+        assert a.covers(ab)
+        assert not ab.covers(a)
+        assert not a.intersects(~a)
+
+    def test_equality_is_semantic(self, engine):
+        a, b = engine.variable(0), engine.variable(1)
+        assert (a | b) == (b | a)
+        assert hash(a | b) == hash(b | a)
+
+    def test_truthiness_forbidden(self, engine):
+        with pytest.raises(TypeError):
+            bool(engine.variable(0))
+
+    def test_cross_engine_rejected(self, engine):
+        other = PredicateEngine(8)
+        with pytest.raises(ValueError):
+            engine.variable(0) & other.variable(0)
+
+    def test_disj_many_conj_many(self, engine):
+        vs = [engine.variable(i) for i in range(3)]
+        assert engine.disj_many(vs) == (vs[0] | vs[1] | vs[2])
+        assert engine.conj_many(vs) == (vs[0] & vs[1] & vs[2])
+
+    def test_sat_count(self, engine):
+        a = engine.variable(0)
+        assert a.sat_count() == 1 << 7
+        assert engine.true.sat_count() == 1 << 8
+        assert engine.false.sat_count() == 0
+
+
+class TestOpCounting:
+    def test_counts_each_operation(self, engine):
+        a, b = engine.variable(0), engine.variable(1)
+        engine.counter.reset()
+        _ = a & b
+        _ = a | b
+        _ = ~a
+        assert engine.counter.conjunctions == 1
+        assert engine.counter.disjunctions == 1
+        assert engine.counter.negations == 1
+        assert engine.counter.total == 3
+
+    def test_diff_counts_two_ops(self, engine):
+        a, b = engine.variable(0), engine.variable(1)
+        engine.counter.reset()
+        _ = a - b
+        assert engine.counter.total == 2
+
+    def test_snapshot_diff(self, engine):
+        a, b = engine.variable(0), engine.variable(1)
+        before = engine.counter.snapshot()
+        _ = a & b
+        _ = a & b
+        delta = engine.counter.diff(before)
+        assert delta.conjunctions == 2
+        assert delta.disjunctions == 0
+
+    def test_extra_counters(self):
+        c = OpCounter()
+        c.bump("atom_updates", 5)
+        c.bump("atom_updates")
+        assert c.extra["atom_updates"] == 6
+        snap = c.snapshot()
+        c.bump("atom_updates", 4)
+        assert c.diff(snap).extra["atom_updates"] == 4
+
+    def test_cube_counts_one_conjunction(self, engine):
+        engine.counter.reset()
+        engine.cube([(0, True), (1, False), (2, True)])
+        assert engine.counter.conjunctions == 1
+
+    def test_memory_estimate_grows(self, engine):
+        before = engine.memory_estimate_bytes()
+        engine.conj_many(engine.variable(i) for i in range(8))
+        assert engine.memory_estimate_bytes() > before

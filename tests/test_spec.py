@@ -1,0 +1,282 @@
+"""Tests for the requirement language: parser, automata, requirements."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.generators import figure3_example
+from repro.network.topology import Topology
+from repro.spec.ast import (
+    AndSet,
+    CoverSet,
+    NotSet,
+    OrSet,
+    RegexSet,
+    SelectorContext,
+)
+from repro.spec.dfa import compile_path_set
+from repro.spec.parser import parse_path_regex, parse_path_set
+from repro.spec.requirement import Multiplicity, requirement
+
+
+@pytest.fixture()
+def topo():
+    return figure3_example()
+
+
+def devices_by_name(topo, names):
+    return [topo.device(topo.id_of(n)) for n in names]
+
+
+def matches(topo, expression, path_names, context=None):
+    automaton = compile_path_set(parse_path_set(expression))
+    ctx = context or SelectorContext()
+    return automaton.matches(devices_by_name(topo, path_names), ctx)
+
+
+class TestParser:
+    def test_simple_regex(self, topo):
+        ast = parse_path_set("S .* D")
+        assert isinstance(ast, RegexSet)
+
+    def test_figure3_expression_parses(self):
+        parse_path_set("S .* [W|Y] .* D")
+
+    def test_combinators(self):
+        ast = parse_path_set("(S .* D) and not (S .* W .* D)")
+        assert isinstance(ast, AndSet)
+        assert isinstance(ast.right, NotSet)
+
+    def test_or(self):
+        ast = parse_path_set("(S D) or (S W D)")
+        assert isinstance(ast, OrSet)
+
+    def test_cover(self):
+        ast = parse_path_set("cover (S . D)")
+        assert isinstance(ast, CoverSet)
+
+    def test_anchors_ignored(self, topo):
+        assert matches(topo, "^ S D $", ["S", "D"])
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(SpecError):
+            parse_path_set("")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(SpecError):
+            parse_path_set("(S .* D")
+
+    def test_dangling_star_rejected(self):
+        with pytest.raises(SpecError):
+            parse_path_set("S * D")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(SpecError):
+            parse_path_set("(S) )")
+
+
+class TestAutomatonSemantics:
+    def test_exact_sequence(self, topo):
+        assert matches(topo, "S A B", ["S", "A", "B"])
+        assert not matches(topo, "S A B", ["S", "B", "A"])
+        assert not matches(topo, "S A B", ["S", "A"])
+
+    def test_any_star(self, topo):
+        assert matches(topo, "S .* D", ["S", "D"])
+        assert matches(topo, "S .* D", ["S", "A", "B", "D"])
+        assert not matches(topo, "S .* D", ["A", "D"])
+
+    def test_waypoint_alternation(self, topo):
+        expr = "S .* [W|Y] .* D"
+        assert matches(topo, expr, ["S", "W", "C", "D"])
+        assert matches(topo, expr, ["S", "A", "B", "Y", "C", "D"])
+        assert not matches(topo, expr, ["S", "A", "B", "E", "C", "D"])
+
+    def test_star_on_atom(self, topo):
+        expr = "S A* B"
+        assert matches(topo, expr, ["S", "B"])
+        assert matches(topo, expr, ["S", "A", "A", "B"])
+        assert not matches(topo, expr, ["S", "C", "B"])
+
+    def test_and_semantics(self, topo):
+        expr = "(S .* D) and (S .* W .* D)"
+        assert matches(topo, expr, ["S", "W", "C", "D"])
+        assert not matches(topo, expr, ["S", "A", "B", "E", "C", "D"])
+
+    def test_or_semantics(self, topo):
+        expr = "(S W .* D) or (S A .* D)"
+        assert matches(topo, expr, ["S", "W", "C", "D"])
+        assert matches(topo, expr, ["S", "A", "B", "E", "C", "D"])
+        assert not matches(topo, expr, ["A", "B"])
+
+    def test_not_semantics(self, topo):
+        expr = "(S .* D) and not (S .* E .* D)"
+        assert matches(topo, expr, ["S", "W", "C", "D"])
+        assert not matches(topo, expr, ["S", "A", "B", "E", "C", "D"])
+
+    def test_label_selector(self):
+        topo = Topology()
+        topo.add_device("t0", role="tor")
+        topo.add_device("a0", role="agg")
+        expr = "[role=tor] [role=agg]"
+        automaton = compile_path_set(parse_path_set(expr))
+        ctx = SelectorContext()
+        path = [topo.device(0), topo.device(1)]
+        assert automaton.matches(path, ctx)
+        assert not automaton.matches(list(reversed(path)), ctx)
+
+    def test_label_matches_regex(self):
+        topo = Topology()
+        topo.add_device("x", zone="pod12")
+        automaton = compile_path_set(parse_path_set("[zone matches pod\\d+]"))
+        assert automaton.matches([topo.device(0)], SelectorContext())
+
+    def test_destination_selector(self, topo):
+        ctx = SelectorContext(frozenset([topo.id_of("NET")]))
+        automaton = compile_path_set(parse_path_set("S .* >"))
+        path = devices_by_name(topo, ["S", "A", "B", "E", "C", "D", "NET"])
+        assert automaton.matches(path, ctx)
+        assert not automaton.matches(path[:-1], ctx)
+
+    def test_is_dead(self, topo):
+        automaton = compile_path_set(parse_path_set("S D"))
+        state = automaton.start()
+        state = automaton.step(state, topo.device(topo.id_of("A")), SelectorContext())
+        assert automaton.is_dead(state)
+
+
+NAMES = ["S", "A", "B", "E", "C", "D", "W", "Y"]
+
+
+@st.composite
+def path_strategy(draw):
+    return draw(st.lists(st.sampled_from(NAMES), min_size=0, max_size=6))
+
+
+class TestAgainstPythonRe:
+    """Path automata agree with Python's re on single-letter alphabets."""
+
+    EXPRS = [
+        ("S .* D", "S.*D"),
+        ("S .* [W|Y] .* D", "S.*[WY].*D"),
+        ("S A* B", "SA*B"),
+        ("S [A|B] [C|D]", "S[AB][CD]"),
+        (". . .", "..."),
+    ]
+
+    @given(path_strategy())
+    @settings(max_examples=120, deadline=None)
+    def test_agreement(self, path):
+        topo = figure3_example()
+        devices = devices_by_name(topo, path)
+        text = "".join(path)
+        for ours, theirs in self.EXPRS:
+            automaton = compile_path_set(parse_path_set(ours))
+            expected = re.fullmatch(theirs, text) is not None
+            assert automaton.matches(devices, SelectorContext()) == expected, (
+                ours,
+                path,
+            )
+
+    @given(path_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_not_agreement(self, path):
+        topo = figure3_example()
+        devices = devices_by_name(topo, path)
+        text = "".join(path)
+        automaton = compile_path_set(parse_path_set("not (S .* D)"))
+        expected = re.fullmatch("S.*D", text) is None
+        assert automaton.matches(devices, SelectorContext()) == expected
+
+
+class TestRequirement:
+    def test_build_from_names(self, topo):
+        layout = dst_only_layout(8)
+        req = requirement(
+            "waypoint",
+            topo,
+            layout,
+            Match.wildcard(),
+            ["S"],
+            "S .* [W|Y] .* D",
+        )
+        assert req.sources == (topo.id_of("S"),)
+        assert not req.is_cover
+        assert req.multiplicity is Multiplicity.UNICAST
+
+    def test_cover_unwrap(self, topo):
+        layout = dst_only_layout(8)
+        req = requirement(
+            "cov", topo, layout, Match.wildcard(), ["S"], "cover (S .* D)"
+        )
+        assert req.is_cover
+        req.automaton()  # compiles the inner expression
+
+    def test_empty_sources_rejected(self, topo):
+        layout = dst_only_layout(8)
+        with pytest.raises(SpecError):
+            requirement("x", topo, layout, Match.wildcard(), [], "S .* D")
+
+    def test_selector_context_destinations(self, topo):
+        layout = dst_only_layout(8)
+        net = topo.id_of("NET")
+        topo.device(net).labels["prefixes"] = [(0x00, 1)]
+        req = requirement(
+            "reach",
+            topo,
+            layout,
+            Match.dst_prefix(0x00, 2, layout),
+            ["S"],
+            "S .* >",
+        )
+        ctx = req.selector_context(topo, layout)
+        assert net in ctx.destination_ids
+        disjoint = requirement(
+            "other",
+            topo,
+            layout,
+            Match.dst_prefix(0x80, 1, layout),
+            ["S"],
+            "S .* >",
+        )
+        assert net not in disjoint.selector_context(topo, layout).destination_ids
+
+
+class TestSourceSelectors:
+    def test_label_selector_sources(self):
+        from repro.network.generators import fabric
+        from repro.spec.requirement import resolve_sources
+
+        topo = fabric(pods=2, tors_per_pod=2, fabrics_per_pod=2, spines_per_plane=1)
+        tors = resolve_sources(topo, ["[role=tor]"])
+        assert set(tors) == set(topo.select(role="tor"))
+
+    def test_mixed_names_and_selectors(self, topo):
+        from repro.spec.requirement import resolve_sources
+
+        ids = resolve_sources(topo, ["S", "[prefixes contains 10.0]"])
+        assert topo.id_of("S") in ids
+        assert topo.id_of("NET") in ids
+
+    def test_empty_selector_rejected(self, topo):
+        from repro.spec.requirement import resolve_sources
+
+        with pytest.raises(SpecError):
+            resolve_sources(topo, ["[role=unicorn]"])
+
+    def test_requirement_with_selector_sources(self):
+        from repro.network.generators import fabric
+
+        ftopo = fabric(pods=2, tors_per_pod=2, fabrics_per_pod=2,
+                       spines_per_plane=1)
+        layout = dst_only_layout(8)
+        req = requirement(
+            "all-tor-reach", ftopo, layout, Match.wildcard(),
+            ["[role=tor]"], ". .* [role=spine]",
+        )
+        assert set(req.sources) == set(ftopo.select(role="tor"))

@@ -1,0 +1,177 @@
+"""Tests for the topology model and generators."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.generators import (
+    airtel,
+    fabric,
+    fat_tree,
+    figure3_example,
+    grid,
+    internet2,
+    line,
+    ring,
+    stanford,
+    three_node_example,
+)
+from repro.network.topology import EXTERNAL, Topology
+
+
+class TestTopology:
+    def test_add_and_lookup(self):
+        topo = Topology()
+        a = topo.add_device("a")
+        b = topo.add_device("b")
+        topo.add_link(a, b)
+        assert topo.id_of("a") == a
+        assert topo.name_of(b) == "b"
+        assert topo.has_link(a, b) and topo.has_link(b, a)
+        assert topo.neighbors(a) == {b}
+
+    def test_duplicate_name_rejected(self):
+        topo = Topology()
+        topo.add_device("a")
+        with pytest.raises(TopologyError):
+            topo.add_device("a")
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        a = topo.add_device("a")
+        with pytest.raises(TopologyError):
+            topo.add_link(a, a)
+
+    def test_duplicate_link_rejected(self):
+        topo = line(2)
+        with pytest.raises(TopologyError):
+            topo.add_link(0, 1)
+
+    def test_unknown_device(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.device(0)
+        with pytest.raises(TopologyError):
+            topo.id_of("ghost")
+
+    def test_externals_and_switches(self):
+        topo = Topology()
+        s = topo.add_device("s")
+        x = topo.add_external("x", prefixes=["p0"])
+        assert topo.switches() == [s]
+        assert topo.externals() == [x]
+        assert topo.device(x).kind == EXTERNAL
+        assert topo.device(x).label("prefixes") == ["p0"]
+
+    def test_links_and_directed_edges(self):
+        topo = ring(4)
+        assert topo.num_links == 4
+        assert len(topo.directed_edges()) == 8
+        assert (0, 1) in topo.links()
+
+    def test_select_by_label(self):
+        topo = fat_tree(4)
+        tors = topo.select(role="tor")
+        assert len(tors) == 4 * 2
+        assert topo.select(role="tor", pod=0) == [
+            d for d in tors if topo.device(d).label("pod") == 0
+        ]
+
+    def test_shortest_path_tree_line(self):
+        topo = line(4)
+        nh = topo.shortest_path_tree(0)
+        assert nh[0] == []
+        assert nh[1] == [0]
+        assert nh[3] == [2]
+
+    def test_shortest_path_tree_ecmp(self):
+        # A square: two equal-cost paths from node 2 to node 0.
+        topo = ring(4)
+        nh = topo.shortest_path_tree(0)
+        assert nh[2] == [1, 3]
+
+    def test_shortest_path_unreachable(self):
+        topo = Topology()
+        topo.add_device("a")
+        topo.add_device("b")
+        nh = topo.shortest_path_tree(0)
+        assert 1 not in nh
+
+    def test_connected_components(self):
+        topo = Topology()
+        for name in "abcd":
+            topo.add_device(name)
+        topo.add_link(0, 1)
+        comps = topo.connected_components()
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2], [3]]
+        sub = topo.connected_components(nodes=[0, 2])
+        assert sorted(sorted(c) for c in sub) == [[0], [2]]
+
+
+class TestGenerators:
+    def test_line_ring_grid(self):
+        assert line(5).num_links == 4
+        assert ring(5).num_links == 5
+        g = grid(3, 4)
+        assert g.num_devices == 12
+        assert g.num_links == 3 * 3 + 2 * 4  # vertical + horizontal
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_fat_tree_structure(self):
+        k = 4
+        topo = fat_tree(k)
+        assert topo.num_devices == k * k + (k // 2) ** 2  # pods + cores
+        cores = topo.select(role="core")
+        assert len(cores) == (k // 2) ** 2
+        for agg in topo.select(role="agg"):
+            core_neighbors = [
+                n for n in topo.neighbors(agg) if topo.device(n).label("role") == "core"
+            ]
+            assert len(core_neighbors) == k // 2
+
+    def test_fat_tree_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(3)
+
+    def test_fabric_structure(self):
+        topo = fabric(pods=2, tors_per_pod=3, fabrics_per_pod=2, spines_per_plane=2)
+        assert len(topo.select(role="tor")) == 6
+        assert len(topo.select(role="fabric")) == 4
+        assert len(topo.select(role="spine")) == 4
+        assert len(topo.externals()) == 6  # one rack per ToR
+        # Every ToR links to every fabric switch of its pod plus its rack.
+        for tor in topo.select(role="tor", pod=0):
+            nbrs = topo.neighbors(tor)
+            fabs = [n for n in nbrs if topo.device(n).label("role") == "fabric"]
+            assert len(fabs) == 2
+            assert topo.device(tor).label("rack") in nbrs
+
+    def test_internet2_shape(self):
+        topo = internet2()
+        assert topo.num_devices == 9
+        assert len(topo.directed_edges()) == 28
+        assert topo.has_link(topo.id_of("chic"), topo.id_of("atla"))
+        assert topo.has_link(topo.id_of("chic"), topo.id_of("kans"))
+
+    def test_stanford_shape(self):
+        topo = stanford()
+        assert topo.num_devices == 16
+        assert topo.num_links == 2 * 14 + 1 + 9  # dual-homing + core + extra
+
+    def test_airtel_shape(self):
+        topo = airtel()
+        assert topo.num_devices == 68
+        assert len(topo.directed_edges()) == 260
+        assert len(topo.connected_components()) == 1
+
+    def test_airtel_deterministic(self):
+        assert airtel().links() == airtel().links()
+
+    def test_example_topologies(self):
+        fig2 = three_node_example()
+        assert fig2.num_devices == 5  # 3 switches + A + GW
+        fig3 = figure3_example()
+        assert fig3.has_link(fig3.id_of("S"), fig3.id_of("W"))
+        assert fig3.id_of("D") in fig3.switches()
