@@ -134,7 +134,7 @@ def bench_ablation_aggregation(benchmark):
             manager.flush()
             b = manager.breakdown
             results[label] = {
-                "ops": manager.engine.counter.total,
+                "ops": manager.engine.metrics.total,
                 "apply_seconds": b.apply_seconds,
                 "applied_overwrites": b.aggregated_overwrites,
                 "ecs": manager.num_ecs(),
@@ -172,7 +172,7 @@ def bench_ablation_rule_trie(benchmark):
             verifier.process_updates(updates)
             results[label] = {
                 "seconds": time.perf_counter() - start,
-                "ops": verifier.counter.total,
+                "ops": verifier.metrics.total,
                 "ecs": verifier.num_ecs(),
             }
         return results
@@ -263,7 +263,7 @@ def bench_ablation_flash_trie(benchmark):
             manager.submit(updates)
             results[label] = {
                 "seconds": time.perf_counter() - start,
-                "ops": manager.engine.counter.total,
+                "ops": manager.engine.metrics.total,
                 "ecs": manager.num_ecs(),
             }
         return results

@@ -23,7 +23,7 @@ from repro.baselines.strategies import (
     PerUpdateVerification,
 )
 from repro.ce2d.loop_detector import LoopDetector
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.core.inverse_model import EcDelta
 from repro.core.model_manager import ModelManager
 from repro.flash import Flash

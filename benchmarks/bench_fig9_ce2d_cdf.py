@@ -19,7 +19,7 @@ from typing import List, Optional
 
 import pytest
 
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.flash import Flash
 from repro.headerspace.fields import dst_only_layout
 from repro.network.generators import internet2

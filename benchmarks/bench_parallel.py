@@ -28,14 +28,14 @@ def bench_parallel_subspaces(benchmark):
     result = {}
 
     def run():
-        sequential, wall_seq = run_partitioned(
+        sequential, wall_seq, reg_seq = run_partitioned(
             setting.topology.switches(),
             setting.layout,
             setting.partition,
             updates,
             processes=None,
         )
-        parallel, wall_par = run_partitioned(
+        parallel, wall_par, reg_par = run_partitioned(
             setting.topology.switches(),
             setting.layout,
             setting.partition,
@@ -47,6 +47,8 @@ def bench_parallel_subspaces(benchmark):
                 "sequential_wall": wall_seq,
                 "parallel_wall": wall_par,
                 "workers": PROCESSES,
+                "sequential_metrics": reg_seq.snapshot(),
+                "parallel_metrics": reg_par.snapshot(),
                 "subspaces": [
                     {
                         "name": s.subspace,

@@ -4,13 +4,17 @@ Every Table-3/Figure-6 style bench funnels through :func:`run_verifier`,
 which enforces a cooperative wall-clock timeout (the paper killed the JVM
 after 10 hours; we scale that down) and collects the three Table-3 columns:
 model update time, memory estimate and #predicate operations.
+
+All timing flows through :mod:`repro.telemetry`: each run drives the
+update stream inside a ``bench.drive`` span and reads wall-clock seconds
+and operation counts back out of the run's metrics registry, so a bench
+row and a ``--telemetry`` JSONL export can never disagree.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -19,11 +23,15 @@ from repro.baselines.deltanet import DeltaNetVerifier
 from repro.core.model_manager import ModelManager
 from repro.core.subspace import SubspacePartition
 from repro.dataplane.update import RuleUpdate
+from repro.telemetry import OpMetrics, Telemetry
 
 from .settings import Setting
 
 DEFAULT_TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Registry counter written by the ``bench.drive`` span in :func:`_drive`.
+DRIVE_SECONDS = "span.bench.drive.seconds"
 
 
 @dataclass
@@ -39,6 +47,7 @@ class RunResult:
     updates_processed: int
     updates_total: int
     timed_out: bool = False
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def finished(self) -> bool:
@@ -60,6 +69,7 @@ class RunResult:
             "updates_processed": self.updates_processed,
             "updates_total": self.updates_total,
             "timed_out": self.timed_out,
+            "metrics": self.metrics,
         }
 
 
@@ -71,11 +81,13 @@ def run_flash(
     aggregate: bool = True,
 ) -> RunResult:
     """Run the Fast IMT model manager over one subspace-less stream."""
+    telemetry = Telemetry()
     manager = ModelManager(
         setting.topology.switches(),
         setting.layout,
         block_threshold=block_threshold,
         aggregate=aggregate,
+        telemetry=telemetry,
     )
 
     def feed(chunk: Sequence[RuleUpdate]) -> None:
@@ -84,17 +96,18 @@ def run_flash(
     def finish() -> None:
         manager.flush()
 
-    processed, seconds, timed_out = _drive(updates, feed, finish, timeout)
+    processed, seconds, timed_out = _drive(telemetry, updates, feed, finish, timeout)
     return RunResult(
         system="Flash",
         setting=setting.name,
         seconds=seconds,
-        predicate_ops=manager.engine.counter.total,
+        predicate_ops=manager.engine.metrics.total,
         memory_bytes=manager.memory_estimate_bytes(),
         ecs=manager.num_ecs(),
         updates_processed=processed,
         updates_total=len(updates),
         timed_out=timed_out,
+        metrics=telemetry.registry.snapshot(),
     )
 
 
@@ -107,10 +120,12 @@ def run_flash_partitioned(
     """Flash with the §3.4 input-space partition (one manager per subspace).
 
     Reported time is the summed single-core time; memory and ops are summed
-    across subspaces.
+    across subspaces.  All managers share one registry, so op counters
+    aggregate automatically.
     """
     assert setting.partition is not None, f"{setting.name} has no partition"
     routed = setting.partition.route_updates(updates)
+    telemetry = Telemetry()
     managers: Dict[int, ModelManager] = {}
     for subspace in setting.partition:
         managers[subspace.index] = ModelManager(
@@ -118,33 +133,35 @@ def run_flash_partitioned(
             setting.layout,
             block_threshold=block_threshold,
             subspace_match=subspace.match,
+            telemetry=telemetry,
         )
-    start = time.perf_counter()
     timed_out = False
     processed = 0
-    for subspace in setting.partition:
-        manager = managers[subspace.index]
-        stream = routed[subspace.index]
-        for chunk_start in range(0, len(stream), 256):
-            manager.submit(stream[chunk_start : chunk_start + 256])
-            processed += min(256, len(stream) - chunk_start)
-            if time.perf_counter() - start > timeout:
-                timed_out = True
+    with telemetry.span("bench.drive") as span:
+        for subspace in setting.partition:
+            manager = managers[subspace.index]
+            stream = routed[subspace.index]
+            for chunk_start in range(0, len(stream), 256):
+                manager.submit(stream[chunk_start : chunk_start + 256])
+                processed += min(256, len(stream) - chunk_start)
+                if span.elapsed > timeout:
+                    timed_out = True
+                    break
+            manager.flush()
+            if timed_out:
                 break
-        manager.flush()
-        if timed_out:
-            break
-    seconds = time.perf_counter() - start
+    seconds = telemetry.registry.value(DRIVE_SECONDS)
     return RunResult(
         system="Flash",
         setting=f"{setting.name} Subspace",
         seconds=seconds if not timed_out else timeout,
-        predicate_ops=sum(m.engine.counter.total for m in managers.values()),
+        predicate_ops=OpMetrics(telemetry.registry).total,
         memory_bytes=sum(m.memory_estimate_bytes() for m in managers.values()),
         ecs=sum(m.num_ecs() for m in managers.values()),
         updates_processed=processed,
         updates_total=sum(len(v) for v in routed.values()),
         timed_out=timed_out,
+        metrics=telemetry.registry.snapshot(),
     )
 
 
@@ -154,7 +171,10 @@ def run_apkeep(
     timeout: float = DEFAULT_TIMEOUT,
     subspace=None,
 ) -> RunResult:
-    verifier = APKeepVerifier(setting.topology.switches(), setting.layout)
+    telemetry = Telemetry()
+    verifier = APKeepVerifier(
+        setting.topology.switches(), setting.layout, registry=telemetry.registry
+    )
     if subspace is not None:
         universe = verifier.compiler.compile(subspace.match)
         verifier.universe = universe
@@ -166,18 +186,19 @@ def run_apkeep(
     def feed(chunk: Sequence[RuleUpdate]) -> None:
         verifier.process_updates(chunk)
 
-    processed, seconds, timed_out = _drive(updates, feed, None, timeout)
+    processed, seconds, timed_out = _drive(telemetry, updates, feed, None, timeout)
     return RunResult(
         system="APKeep*",
         setting=setting.name,
         seconds=seconds,
-        predicate_ops=verifier.counter.total,
+        predicate_ops=verifier.metrics.total,
         memory_bytes=verifier.memory_estimate_bytes()
         + verifier.engine.memory_estimate_bytes(),
         ecs=verifier.num_ecs(),
         updates_processed=processed,
         updates_total=len(updates),
         timed_out=timed_out,
+        metrics=telemetry.registry.snapshot(),
     )
 
 
@@ -211,45 +232,55 @@ def run_deltanet(
     updates: Sequence[RuleUpdate],
     timeout: float = DEFAULT_TIMEOUT,
 ) -> RunResult:
-    verifier = DeltaNetVerifier(setting.topology.switches(), setting.layout)
+    telemetry = Telemetry()
+    verifier = DeltaNetVerifier(
+        setting.topology.switches(), setting.layout, registry=telemetry.registry
+    )
 
     def feed(chunk: Sequence[RuleUpdate]) -> None:
         verifier.process_updates(chunk)
 
-    processed, seconds, timed_out = _drive(updates, feed, None, timeout)
+    processed, seconds, timed_out = _drive(telemetry, updates, feed, None, timeout)
     return RunResult(
         system="Delta-net*",
         setting=setting.name,
         seconds=seconds,
-        predicate_ops=verifier.counter.extra.get("atom_ops", 0),
+        predicate_ops=verifier.metrics.extra.get("atom_ops", 0),
         memory_bytes=verifier.memory_estimate_bytes(),
         ecs=verifier.num_atoms,
         updates_processed=processed,
         updates_total=len(updates),
         timed_out=timed_out,
+        metrics=telemetry.registry.snapshot(),
     )
 
 
 def _drive(
+    telemetry: Telemetry,
     updates: Sequence[RuleUpdate],
     feed: Callable[[Sequence[RuleUpdate]], None],
     finish: Optional[Callable[[], None]],
     timeout: float,
     chunk_size: int = 128,
 ) -> Tuple[int, float, bool]:
-    start = time.perf_counter()
+    """Feed ``updates`` in chunks inside a ``bench.drive`` span.
+
+    Returns (processed, seconds, timed_out); seconds is read back from the
+    registry so callers and exporters see the same number.
+    """
     processed = 0
     timed_out = False
-    for chunk_start in range(0, len(updates), chunk_size):
-        chunk = updates[chunk_start : chunk_start + chunk_size]
-        feed(chunk)
-        processed += len(chunk)
-        if time.perf_counter() - start > timeout:
-            timed_out = processed < len(updates)
-            break
-    if finish is not None and not timed_out:
-        finish()
-    return processed, time.perf_counter() - start, timed_out
+    with telemetry.span("bench.drive") as span:
+        for chunk_start in range(0, len(updates), chunk_size):
+            chunk = updates[chunk_start : chunk_start + chunk_size]
+            feed(chunk)
+            processed += len(chunk)
+            if span.elapsed > timeout:
+                timed_out = processed < len(updates)
+                break
+        if finish is not None and not timed_out:
+            finish()
+    return processed, telemetry.registry.value(DRIVE_SECONDS), timed_out
 
 
 # ----------------------------------------------------------------------

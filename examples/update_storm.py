@@ -41,7 +41,7 @@ def main():
     manager.flush()
     flash_s = time.perf_counter() - start
     print(f"{'Flash (Fast IMT)':<22} {flash_s:>8.3f}s "
-          f"{manager.engine.counter.total:>10} predicate ops "
+          f"{manager.engine.metrics.total:>10} predicate ops "
           f"{manager.num_ecs():>6} ECs")
     b = manager.breakdown
     print(f"{'':<22} map {b.map_seconds:.3f}s | reduce {b.reduce_seconds:.3f}s"
@@ -55,7 +55,7 @@ def main():
     apkeep.process_updates(storm)
     apkeep_s = time.perf_counter() - start
     print(f"{'APKeep* (per-update)':<22} {apkeep_s:>8.3f}s "
-          f"{apkeep.counter.total:>10} predicate ops "
+          f"{apkeep.metrics.total:>10} predicate ops "
           f"{apkeep.num_ecs():>6} ECs")
 
     # --- Delta-net*: intervals ----------------------------------------------
@@ -64,7 +64,7 @@ def main():
     deltanet.process_updates(storm)
     deltanet_s = time.perf_counter() - start
     print(f"{'Delta-net* (atoms)':<22} {deltanet_s:>8.3f}s "
-          f"{deltanet.counter.extra.get('atom_ops', 0):>10} atom ops      "
+          f"{deltanet.metrics.extra.get('atom_ops', 0):>10} atom ops      "
           f"{deltanet.num_atoms:>6} atoms")
 
     print(f"\nFlash speedup: {apkeep_s / flash_s:.1f}x over APKeep*, "

@@ -18,8 +18,16 @@ from .analysis import (
 )
 from .bdd import Predicate, PredicateEngine
 from .datasets import DatasetBundle, load_bundle, save_bundle
-from .ce2d import CE2DDispatcher, SubspaceVerifier, Verdict
+from .ce2d import CE2DDispatcher, SubspaceVerifier
 from .core import ModelManager, SubspacePartition
+from .results import (
+    LoopReport,
+    Report,
+    RunSummary,
+    Verdict,
+    VerificationReport,
+)
+from .telemetry import MetricsRegistry, Telemetry, TelemetryConfig
 from .dataplane import (
     DROP,
     FibSnapshot,
@@ -50,8 +58,15 @@ __all__ = [
     "CE2DDispatcher",
     "SubspaceVerifier",
     "Verdict",
+    "VerificationReport",
+    "LoopReport",
+    "Report",
+    "RunSummary",
     "ModelManager",
     "SubspacePartition",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryConfig",
     "DROP",
     "FibSnapshot",
     "FibTable",

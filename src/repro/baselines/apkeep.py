@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..bdd.predicate import Predicate, PredicateEngine
+from ..bdd.predicate import Predicate, PredicateEngine, deprecated_counter
 from ..dataplane.fib import FibSnapshot
 from ..dataplane.rule import DROP, Action, Rule
 from ..dataplane.update import RuleUpdate
@@ -43,6 +43,7 @@ class APKeepVerifier:
         universe: Optional[Predicate] = None,
         use_index: bool = True,
         delay_merge: int = 0,
+        registry=None,
     ) -> None:
         self.use_index = use_index
         # §5.1: APKeep's "delay merge" parameter (default 0 = merge eagerly).
@@ -53,7 +54,9 @@ class APKeepVerifier:
         self.devices = list(devices)
         self._index_of = {d: i for i, d in enumerate(self.devices)}
         self.layout = layout
-        self.engine = engine if engine is not None else PredicateEngine(layout.total_bits)
+        if engine is None:
+            engine = PredicateEngine(layout.total_bits, registry=registry)
+        self.engine = engine
         self.compiler = MatchCompiler(self.engine, layout)
         self.default_action = default_action
         self.universe = self.engine.true if universe is None else universe
@@ -75,8 +78,18 @@ class APKeepVerifier:
         }
 
     @property
+    def metrics(self):
+        """Stable accessor for predicate-operation counts (Table 3)."""
+        return self.engine.metrics
+
+    @property
+    def registry(self):
+        return self.engine.registry
+
+    @property
     def counter(self):
-        return self.engine.counter
+        """Deprecated: use :attr:`metrics` instead."""
+        return deprecated_counter(self.engine.metrics, "APKeepVerifier")
 
     # -- update processing ----------------------------------------------------
     def apply(self, update: RuleUpdate) -> None:

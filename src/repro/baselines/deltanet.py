@@ -15,8 +15,9 @@ representation:
 * non-prefix rules (suffix matches, multi-field ECMP) explode into many
   intervals — LNet-smr / LNet-ecmp, where Delta-net* collapses.
 
-Work is accounted in ``counter.extra['atom_ops']`` — one op per per-atom
-per-device label touch — the analogue of Flash's #predicate operations.
+Work is accounted in ``metrics.extra['atom_ops']`` — one op per per-atom
+per-device label touch — the analogue of Flash's #predicate operations,
+counted through the same :class:`~repro.telemetry.OpMetrics` interface.
 """
 
 from __future__ import annotations
@@ -24,8 +25,9 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..bdd.predicate import OpCounter
+from ..bdd.predicate import deprecated_counter
 from ..dataplane.rule import DROP, Action, Rule
+from ..telemetry import MetricsRegistry, OpMetrics
 from ..dataplane.update import RuleUpdate
 from ..errors import DataPlaneError, RuleNotFoundError
 from ..headerspace.fields import HeaderLayout
@@ -81,12 +83,14 @@ class DeltaNetVerifier:
         layout: HeaderLayout,
         default_action: Action = DROP,
         max_intervals_per_rule: int = 1 << 16,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.devices = list(devices)
         self.layout = layout
         self.default_action = default_action
         self.max_intervals_per_rule = max_intervals_per_rule
-        self.counter = OpCounter()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = OpMetrics(self.registry)
         # Atom starts; atom i spans [bounds[i], bounds[i+1]) with a virtual
         # final bound at the universe size.
         self._bounds: List[int] = [0]
@@ -108,7 +112,7 @@ class DeltaNetVerifier:
         # The split atom's cells are cloned for the new right half.
         source = self._cells[start]
         self._cells[point] = {dev: cell.clone() for dev, cell in source.items()}
-        self.counter.bump("atom_splits")
+        self.metrics.bump("atom_splits")
 
     def _atoms_in(self, lo: int, hi: int) -> List[int]:
         """Atom starts covering [lo, hi] (boundaries must already exist)."""
@@ -159,7 +163,7 @@ class DeltaNetVerifier:
                     cell = _AtomRules()
                     self._cells[start][device] = cell
                 cell.add(entry)
-                self.counter.bump("atom_ops")
+                self.metrics.bump("atom_ops")
 
     def _delete(self, device: int, rule: Rule) -> None:
         key = (device, rule)
@@ -174,9 +178,14 @@ class DeltaNetVerifier:
                 if cell is None:
                     raise RuleNotFoundError(f"missing cell for {rule!r}")
                 cell.remove(rule.priority, seq, rule)
-                self.counter.bump("atom_ops")
+                self.metrics.bump("atom_ops")
 
     # -- queries ---------------------------------------------------------------
+    @property
+    def counter(self):
+        """Deprecated: use :attr:`metrics` instead."""
+        return deprecated_counter(self.metrics, "DeltaNetVerifier")
+
     @property
     def num_atoms(self) -> int:
         return len(self._bounds)

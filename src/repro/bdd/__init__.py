@@ -1,6 +1,14 @@
 """Binary decision diagram substrate (the paper's JDD equivalent)."""
 
-from .engine import BDD, FALSE, TRUE
+from .engine import BDD, FALSE, TRUE, BddStats
 from .predicate import OpCounter, Predicate, PredicateEngine
 
-__all__ = ["BDD", "FALSE", "TRUE", "OpCounter", "Predicate", "PredicateEngine"]
+__all__ = [
+    "BDD",
+    "FALSE",
+    "TRUE",
+    "BddStats",
+    "OpCounter",
+    "Predicate",
+    "PredicateEngine",
+]

@@ -30,6 +30,44 @@ _OP_XOR = 2
 _OP_DIFF = 3
 
 
+class BddStats:
+    """Plain-int operation/cache tallies kept off the registry hot path.
+
+    The recursive apply is the hottest loop in the system, so it bumps
+    slot attributes here; :class:`~repro.bdd.predicate.PredicateEngine`
+    registers a telemetry collector that publishes them as ``bdd.*``
+    gauges whenever a registry snapshot is taken.
+    """
+
+    __slots__ = (
+        "apply_calls",
+        "apply_cache_hits",
+        "negate_calls",
+        "negate_cache_hits",
+        "quantify_calls",
+        "restrict_calls",
+    )
+
+    def __init__(self) -> None:
+        self.apply_calls = 0
+        self.apply_cache_hits = 0
+        self.negate_calls = 0
+        self.negate_cache_hits = 0
+        self.quantify_calls = 0
+        self.restrict_calls = 0
+
+    def publish(self, registry, prefix: str = "bdd") -> None:
+        """Mirror the tallies into registry gauges."""
+        registry.gauge(f"{prefix}.apply.calls").set(self.apply_calls)
+        registry.gauge(f"{prefix}.apply.cache_hits").set(self.apply_cache_hits)
+        registry.gauge(f"{prefix}.negate.calls").set(self.negate_calls)
+        registry.gauge(f"{prefix}.negate.cache_hits").set(
+            self.negate_cache_hits
+        )
+        registry.gauge(f"{prefix}.quantify.calls").set(self.quantify_calls)
+        registry.gauge(f"{prefix}.restrict.calls").set(self.restrict_calls)
+
+
 class BDD:
     """A shared ROBDD node store with memoized operations.
 
@@ -56,6 +94,7 @@ class BDD:
         self._sat_cache: Dict[int, int] = {}
         # Pre-built single-variable functions, created lazily.
         self._var_nodes: Dict[int, int] = {}
+        self.stats = BddStats()
 
     # ------------------------------------------------------------------
     # Node structure
@@ -129,8 +168,11 @@ class BDD:
             return TRUE
         if a == TRUE:
             return FALSE
+        stats = self.stats
+        stats.negate_calls += 1
         cached = self._not_cache.get(a)
         if cached is not None:
+            stats.negate_cache_hits += 1
             return cached
         result = self._mk(
             self._var[a], self.negate(self._low[a]), self.negate(self._high[a])
@@ -192,9 +234,12 @@ class BDD:
             return shortcut
         if op in (_OP_AND, _OP_OR, _OP_XOR) and a > b:
             a, b = b, a  # commutative: canonicalise cache key
+        stats = self.stats
+        stats.apply_calls += 1
         key = (op, a, b)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            stats.apply_cache_hits += 1
             return cached
         va, vb = self._var[a], self._var[b]
         if va == vb:
@@ -282,6 +327,7 @@ class BDD:
 
     def restrict(self, u: int, assignments: Dict[int, bool]) -> int:
         """Cofactor ``u`` by fixing the given variables."""
+        self.stats.restrict_calls += 1
         memo: Dict[int, int] = {}
 
         def go(node: int) -> int:
@@ -302,6 +348,7 @@ class BDD:
 
     def exists(self, u: int, variables: Iterable[int]) -> int:
         """Existential quantification over ``variables``."""
+        self.stats.quantify_calls += 1
         varset = frozenset(variables)
         memo: Dict[int, int] = {}
 

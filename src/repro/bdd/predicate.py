@@ -5,27 +5,40 @@ disjunction (∨) and negation (¬) operations each verifier issues — as the
 machine-independent performance metric of Table 3.  This module provides:
 
 * :class:`PredicateEngine` — owns a :class:`~repro.bdd.engine.BDD` and counts
-  every predicate operation issued through it;
+  every predicate operation issued through it into a telemetry
+  :class:`~repro.telemetry.MetricsRegistry` (``predicate.ops.*``
+  counters), exposed through the stable ``engine.metrics`` accessor;
 * :class:`Predicate` — an immutable handle supporting ``&``, ``|``, ``~``,
   ``-`` (difference) and set-style queries, hashable and comparable in O(1)
   thanks to BDD canonicity.
 
 All higher layers (Fast IMT, CE2D, APKeep*) speak :class:`Predicate`;
 Delta-net* uses intervals instead and counts its interval operations through
-the same counter interface so Table 3 is comparable.
+the same :class:`~repro.telemetry.OpMetrics` interface so Table 3 is
+comparable.
+
+The historical ``engine.counter`` accessor (a mutable ``OpCounter``
+dataclass callers poked directly) is deprecated; it still works through a
+registry-backed shim but emits :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
+from ..telemetry import MetricsRegistry, OpMetrics, OpSnapshot
 from .engine import BDD, FALSE, TRUE
 
 
 @dataclass
 class OpCounter:
-    """Mutable tally of predicate operations, mirroring Table 3's column."""
+    """Legacy mutable tally of predicate operations (pre-telemetry API).
+
+    Retained as a plain value type for external code; in-repo accounting
+    now lives in registry-backed :class:`~repro.telemetry.OpMetrics`.
+    """
 
     conjunctions: int = 0
     disjunctions: int = 0
@@ -63,6 +76,80 @@ class OpCounter:
         self.disjunctions = 0
         self.negations = 0
         self.extra.clear()
+
+
+class _OpCounterShim:
+    """OpCounter-compatible view over registry-backed :class:`OpMetrics`.
+
+    Returned by the deprecated ``engine.counter`` accessor so legacy
+    callers (including ones that mutate ``counter.conjunctions``) keep
+    working against the registry.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: OpMetrics) -> None:
+        object.__setattr__(self, "_metrics", metrics)
+
+    # -- the three tallies, readable and writable ----------------------
+    @property
+    def conjunctions(self) -> int:
+        return self._metrics.conjunctions
+
+    @conjunctions.setter
+    def conjunctions(self, value: int) -> None:
+        self._metrics._conj.value = value
+
+    @property
+    def disjunctions(self) -> int:
+        return self._metrics.disjunctions
+
+    @disjunctions.setter
+    def disjunctions(self, value: int) -> None:
+        self._metrics._disj.value = value
+
+    @property
+    def negations(self) -> int:
+        return self._metrics.negations
+
+    @negations.setter
+    def negations(self, value: int) -> None:
+        self._metrics._neg.value = value
+
+    # -- derived API ---------------------------------------------------
+    @property
+    def total(self) -> int:
+        return self._metrics.total
+
+    @property
+    def extra(self) -> Dict[str, int]:
+        return self._metrics.extra
+
+    def snapshot(self) -> OpSnapshot:
+        return self._metrics.snapshot()
+
+    def diff(self, earlier) -> OpSnapshot:
+        return self._metrics.diff(earlier)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._metrics.bump(name, amount)
+
+    def reset(self) -> None:
+        self._metrics.reset()
+
+    def __repr__(self) -> str:
+        return f"OpCounterShim({self._metrics!r})"
+
+
+def deprecated_counter(metrics: OpMetrics, owner: str) -> _OpCounterShim:
+    """Warn and build the legacy ``.counter`` view (shared by verifiers)."""
+    warnings.warn(
+        f"{owner}.counter is deprecated; use {owner}.metrics "
+        "(repro.telemetry.OpMetrics) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return _OpCounterShim(metrics)
 
 
 class Predicate:
@@ -147,13 +234,42 @@ class Predicate:
 
 
 class PredicateEngine:
-    """Factory and operation counter for :class:`Predicate` objects."""
+    """Factory and operation accountant for :class:`Predicate` objects.
 
-    def __init__(self, num_vars: int) -> None:
+    Parameters
+    ----------
+    num_vars:
+        Number of boolean header variables.
+    registry:
+        Telemetry registry the op counters land in.  Pass a shared
+        registry (e.g. a ``Flash`` system's) to aggregate across engines;
+        a private one is created when omitted.
+    """
+
+    def __init__(
+        self, num_vars: int, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.bdd = BDD(num_vars)
-        self.counter = OpCounter()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = OpMetrics(self.registry)
+        # Direct counter handles for the hot paths below.
+        self._c_conj = self.metrics._conj
+        self._c_disj = self.metrics._disj
+        self._c_neg = self.metrics._neg
+        self.registry.add_collector(self._publish_bdd_stats)
         self._false = Predicate(self, FALSE)
         self._true = Predicate(self, TRUE)
+
+    def _publish_bdd_stats(self, registry: MetricsRegistry) -> None:
+        """Collector: mirror hot-path BDD tallies into ``bdd.*`` gauges."""
+        self.bdd.stats.publish(registry)
+        registry.gauge("bdd.nodes").set(self.bdd.num_nodes)
+
+    # -- deprecated accessor -------------------------------------------
+    @property
+    def counter(self) -> _OpCounterShim:
+        """Deprecated: use :attr:`metrics` (``repro.telemetry.OpMetrics``)."""
+        return deprecated_counter(self.metrics, "PredicateEngine")
 
     # -- constants -----------------------------------------------------
     @property
@@ -184,35 +300,35 @@ class PredicateEngine:
 
     def cube(self, literals: Iterable[Tuple[int, bool]]) -> Predicate:
         """Conjunction of literals; counted as a single predicate operation."""
-        self.counter.conjunctions += 1
+        self._c_conj.value += 1
         return self.pred(self.bdd.cube(literals))
 
     # -- counted operations --------------------------------------------
     def conj(self, a: Predicate, b: Predicate) -> Predicate:
         self._check(a, b)
-        self.counter.conjunctions += 1
+        self._c_conj.value += 1
         return self.pred(self.bdd.apply_and(a.node, b.node))
 
     def disj(self, a: Predicate, b: Predicate) -> Predicate:
         self._check(a, b)
-        self.counter.disjunctions += 1
+        self._c_disj.value += 1
         return self.pred(self.bdd.apply_or(a.node, b.node))
 
     def neg(self, a: Predicate) -> Predicate:
         self._check(a, a)
-        self.counter.negations += 1
+        self._c_neg.value += 1
         return self.pred(self.bdd.negate(a.node))
 
     def diff(self, a: Predicate, b: Predicate) -> Predicate:
         """a ∧ ¬b, counted as one conjunction and one negation."""
         self._check(a, b)
-        self.counter.conjunctions += 1
-        self.counter.negations += 1
+        self._c_conj.value += 1
+        self._c_neg.value += 1
         return self.pred(self.bdd.apply_diff(a.node, b.node))
 
     def xor(self, a: Predicate, b: Predicate) -> Predicate:
         self._check(a, b)
-        self.counter.conjunctions += 1
+        self._c_conj.value += 1
         return self.pred(self.bdd.apply_xor(a.node, b.node))
 
     def disj_many(self, preds: Iterable[Predicate]) -> Predicate:

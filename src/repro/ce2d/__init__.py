@@ -6,7 +6,7 @@ from .epoch import EpochTracker
 from .loop_detector import LoopDetector
 from .reachability import DgqReachability, ModelTraversal
 from .regex_verifier import CoverVerifier, RegexVerifier
-from .results import LoopReport, Verdict, VerificationReport
+from ..results import LoopReport, Verdict, VerificationReport
 from .verification_graph import VerificationGraph
 from .verifier import SubspaceVerifier
 

@@ -26,8 +26,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..dataplane.update import EpochTag, RuleUpdate
 from ..errors import DispatchError
+from ..results import Verdict
+from ..telemetry import Span, Telemetry
 from .epoch import EpochTracker
-from .results import Verdict
 from .verifier import Report, SubspaceVerifier
 
 VerifierFactory = Callable[[EpochTag], SubspaceVerifier]
@@ -66,13 +67,17 @@ class CE2DDispatcher:
         self,
         factory: VerifierFactory,
         max_live_verifiers: int = 8,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.factory = factory
         self.max_live_verifiers = max_live_verifiers
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.tracker = EpochTracker()
         self.verifiers: Dict[EpochTag, SubspaceVerifier] = {}
         self._logs: Dict[int, _DeviceLog] = {}
         self._fed: Dict[EpochTag, Set[int]] = {}
+        # Open ``ce2d.epoch`` lifecycle spans, one per live verifier.
+        self._epoch_spans: Dict[EpochTag, Span] = {}
         self.reports: List[Report] = []
 
     # ------------------------------------------------------------------
@@ -86,6 +91,8 @@ class CE2DDispatcher:
         """Ingest one tagged batch from a device agent (Figure 1 steps 3-4)."""
         if epoch is None:
             raise DispatchError("updates must carry an epoch tag")
+        self.telemetry.count("ce2d.batches")
+        self.telemetry.count("ce2d.updates", len(updates))
         self.tracker.observe(device, epoch)
         self._logs.setdefault(device, _DeviceLog()).append(epoch, updates)
         self._garbage_collect()
@@ -97,6 +104,10 @@ class CE2DDispatcher:
             if self.tracker.is_inactive(tag):
                 del self.verifiers[tag]
                 self._fed.pop(tag, None)
+                span = self._epoch_spans.pop(tag, None)
+                if span is not None:
+                    self.telemetry.end(span)
+                self.telemetry.count("ce2d.epoch.closed")
 
     def _drain(self, now: Optional[float]) -> List[Report]:
         """Feed update prefixes of active epochs to their verifiers."""
@@ -110,6 +121,10 @@ class CE2DDispatcher:
                 verifier.epoch = tag
                 self.verifiers[tag] = verifier
                 self._fed[tag] = set()
+                self.telemetry.count("ce2d.epoch.opened")
+                span = self.telemetry.begin("ce2d.epoch", epoch=str(tag))
+                if span is not None:
+                    self._epoch_spans[tag] = span
             fed = self._fed[tag]
             for device, log in self._logs.items():
                 if device in fed:

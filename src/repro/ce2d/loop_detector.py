@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from ..core.inverse_model import EcDelta, InverseModel
 from ..dataplane.rule import next_hops_of
 from ..network.topology import Topology
-from .results import LoopReport, Verdict
+from ..results import LoopReport, Verdict
 
 EcSet = FrozenSet[int]
 

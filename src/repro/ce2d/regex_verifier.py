@@ -22,7 +22,7 @@ from typing import Dict, Iterable, Optional, Sequence, Set
 
 from ..bdd.predicate import Predicate
 from ..core.inverse_model import EcDelta, InverseModel
-from ..core.stats import Stopwatch
+from ..telemetry import Stopwatch
 from ..dataplane.rule import next_hops_of
 from ..errors import SpecError
 from ..headerspace.fields import HeaderLayout
@@ -30,7 +30,7 @@ from ..headerspace.match import MatchCompiler
 from ..network.topology import Topology
 from ..spec.requirement import Multiplicity, Requirement
 from .reachability import DgqReachability, ModelTraversal
-from .results import Verdict, VerificationReport
+from ..results import Verdict, VerificationReport
 from .verification_graph import VerificationGraph
 
 

@@ -1,52 +1,29 @@
-"""Verdicts and reports emitted by CE2D verifiers."""
+"""Deprecated shim — result types moved to :mod:`repro.results`.
+
+``repro.ce2d.results`` was the historical home of :class:`Verdict`,
+:class:`VerificationReport` and :class:`LoopReport`.  The unified result
+API now lives at the package root (``repro.results``); importing from
+here still works but emits :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Any, Hashable, List, Optional
+import warnings
+
+_MOVED = {"Verdict", "VerificationReport", "LoopReport", "Report"}
+
+__all__ = sorted(_MOVED)
 
 
-class Verdict(enum.Enum):
-    """Tri-state outcome of consistent early detection."""
+def __getattr__(name: str):
+    if name not in _MOVED:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.ce2d.results.{name} is deprecated; import it from "
+        "repro.results instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .. import results
 
-    SATISFIED = "satisfied"
-    VIOLATED = "violated"
-    UNKNOWN = "unknown"
-
-    @property
-    def is_deterministic(self) -> bool:
-        return self is not Verdict.UNKNOWN
-
-
-@dataclass
-class VerificationReport:
-    """One deterministic (or still-unknown) result for a requirement/epoch."""
-
-    requirement: str
-    verdict: Verdict
-    epoch: Optional[Hashable] = None
-    time: Optional[float] = None
-    detail: str = ""
-    witness: Optional[List[Any]] = None
-
-    def __repr__(self) -> str:
-        extra = f", {self.detail}" if self.detail else ""
-        return (
-            f"VerificationReport({self.requirement}: {self.verdict.value}"
-            f"{extra})"
-        )
-
-
-@dataclass
-class LoopReport:
-    """Outcome of consistent early loop detection."""
-
-    verdict: Verdict
-    epoch: Optional[Hashable] = None
-    time: Optional[float] = None
-    loop_path: Optional[List[int]] = None
-
-    @property
-    def has_loop(self) -> bool:
-        return self.verdict is Verdict.VIOLATED
+    return getattr(results, name)

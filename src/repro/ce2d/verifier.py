@@ -19,12 +19,11 @@ from ..dataplane.rule import DROP, Action
 from ..dataplane.update import EpochTag, RuleUpdate
 from ..headerspace.fields import HeaderLayout
 from ..network.topology import Topology
+from ..results import LoopReport, Report, Verdict, VerificationReport
 from ..spec.requirement import Requirement
+from ..telemetry import Telemetry
 from .loop_detector import LoopDetector
 from .regex_verifier import CoverVerifier, RegexVerifier
-from .results import LoopReport, Verdict, VerificationReport
-
-Report = Union[LoopReport, VerificationReport]
 
 
 class Checker:
@@ -56,6 +55,7 @@ class SubspaceVerifier:
         block_threshold: Optional[int] = None,
         use_dgq: bool = True,
         manager: Optional[ModelManager] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -68,8 +68,12 @@ class SubspaceVerifier:
                 default_action=default_action,
                 block_threshold=block_threshold,
                 subspace_match=subspace_match,
+                telemetry=telemetry,
             )
         self.manager = manager
+        self.telemetry = (
+            telemetry if telemetry is not None else manager.telemetry
+        )
         self.synced: Set[int] = set()
         self.loop_detector = LoopDetector(topology) if check_loops else None
         self.regex_verifiers: List[Union[RegexVerifier, CoverVerifier]] = []
@@ -123,29 +127,32 @@ class SubspaceVerifier:
         stamp = time.perf_counter() - self._started if now is None else now
         self.synced.update(new_synced)
         results: List[Report] = []
-        if self.loop_detector is not None:
-            report = self.loop_detector.on_model_update(
-                deltas, new_synced, self.manager.model
-            )
-            report.epoch = self.epoch
-            report.time = stamp
-            results.append(report)
-        for verifier in self.regex_verifiers:
-            report = verifier.on_model_update(
-                deltas, new_synced, self.manager.model
-            )
-            report.epoch = self.epoch
-            report.time = stamp
-            results.append(report)
-        for checker in self.custom_checkers:
-            report = checker.on_model_update(
-                deltas, new_synced, self.manager.model
-            )
-            if hasattr(report, "epoch"):
+        with self.telemetry.span("ce2d.check", epoch=str(self.epoch)):
+            if self.loop_detector is not None:
+                report = self.loop_detector.on_model_update(
+                    deltas, new_synced, self.manager.model
+                )
                 report.epoch = self.epoch
-            if hasattr(report, "time"):
                 report.time = stamp
-            results.append(report)
+                results.append(report)
+            for verifier in self.regex_verifiers:
+                report = verifier.on_model_update(
+                    deltas, new_synced, self.manager.model
+                )
+                report.epoch = self.epoch
+                report.time = stamp
+                results.append(report)
+            for checker in self.custom_checkers:
+                report = checker.on_model_update(
+                    deltas, new_synced, self.manager.model
+                )
+                if hasattr(report, "epoch"):
+                    report.epoch = self.epoch
+                if hasattr(report, "time"):
+                    report.time = stamp
+                results.append(report)
+        for report in results:
+            self.telemetry.count(f"ce2d.verdicts.{report.verdict.value}")
         self.reports.extend(results)
         return results
 

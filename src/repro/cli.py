@@ -21,7 +21,8 @@ from typing import List, Optional
 
 from .baselines.apkeep import APKeepVerifier
 from .baselines.deltanet import DeltaNetVerifier
-from .ce2d.results import Verdict
+from .results import Verdict
+from .telemetry import JsonLinesExporter, Telemetry, TelemetryConfig
 from .core.model_manager import ModelManager
 from .dataplane.trace import inserts_only, insert_then_delete, read_trace, write_trace
 from .errors import ReproError
@@ -89,37 +90,58 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _export_telemetry(path, telemetry, label, reports=()) -> None:
+    try:
+        lines = JsonLinesExporter(path).export(
+            telemetry, label=label, reports=reports
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot write telemetry file {path!r}: {exc}") from exc
+    print(f"telemetry: {lines} records appended to {path}")
+
+
 def cmd_verify(args) -> int:
     topo = _build_topology(args)
     _attach_loopbacks(topo)
     layout = _build_layout(args)
     updates = list(read_trace(args.trace))
     print(f"verifying {len(updates)} updates with {args.engine} ...")
+    telemetry = Telemetry.from_config(TelemetryConfig())
     start = time.perf_counter()
+    reports = []
     if args.engine == "flash":
-        flash = Flash(topo, layout, check_loops=True)
+        flash = Flash(topo, layout, check_loops=True, telemetry=telemetry)
         flash.verify_offline(updates)
         elapsed = time.perf_counter() - start
+        reports = flash.deterministic_reports()
         violation = flash.first_violation()
         if violation is not None:
             print(f"VIOLATED: {violation!r}")
         else:
             print("no violations: the converged data plane is loop-free")
     elif args.engine == "apkeep":
-        verifier = APKeepVerifier(topo.switches(), layout)
+        verifier = APKeepVerifier(
+            topo.switches(), layout, registry=telemetry.registry
+        )
         verifier.process_updates(updates)
         elapsed = time.perf_counter() - start
         print(f"model built: {verifier.num_ecs()} ECs, "
-              f"{verifier.counter.total} predicate ops")
+              f"{verifier.metrics.total} predicate ops")
     elif args.engine == "deltanet":
-        verifier = DeltaNetVerifier(topo.switches(), layout)
+        verifier = DeltaNetVerifier(
+            topo.switches(), layout, registry=telemetry.registry
+        )
         verifier.process_updates(updates)
         elapsed = time.perf_counter() - start
         print(f"model built: {verifier.num_atoms} atoms, "
-              f"{verifier.counter.extra.get('atom_ops', 0)} atom ops")
+              f"{verifier.metrics.extra.get('atom_ops', 0)} atom ops")
     else:
         raise ReproError(f"unknown engine {args.engine!r}")
     print(f"took {elapsed:.3f}s")
+    if args.telemetry:
+        _export_telemetry(
+            args.telemetry, telemetry, f"verify:{args.engine}", reports
+        )
     return 0
 
 
@@ -167,7 +189,7 @@ def cmd_simulate(args) -> int:
     sim = OpenRSimulation(
         topo, layout, buggy_nodes=buggy, dampening=dampening, seed=args.seed
     )
-    flash = Flash(topo, layout, check_loops=True)
+    flash = Flash(topo, layout, check_loops=True, telemetry=Telemetry())
     flash.attach_to(sim)
     sim.bootstrap()
     sim.run()
@@ -183,6 +205,10 @@ def cmd_simulate(args) -> int:
         stamp = f"t={report.time:.3f}s" if report.time is not None else ""
         print(f"{stamp}  epoch {str(report.epoch)[:8]}  {report.verdict.value}")
     violations = [r for r in deterministic if r.verdict is Verdict.VIOLATED]
+    if args.telemetry:
+        _export_telemetry(
+            args.telemetry, flash.telemetry, "simulate", deterministic
+        )
     return 1 if violations else 0
 
 
@@ -214,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument(
         "--engine", default="flash", choices=["flash", "apkeep", "deltanet"]
     )
+    ver.add_argument(
+        "--telemetry", default=None, metavar="OUT.JSONL",
+        help="append metric/span/report records to a JSON-lines file",
+    )
     ver.set_defaults(func=cmd_verify)
 
     ana = sub.add_parser("analyze", help="query a verified trace")
@@ -235,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     simp.add_argument("--dampen-seconds", type=float, default=60.0)
     simp.add_argument("--fail-link", default=None, help="e.g. chic-kans")
     simp.add_argument("--seed", type=int, default=0)
+    simp.add_argument(
+        "--telemetry", default=None, metavar="OUT.JSONL",
+        help="append metric/span/report records to a JSON-lines file",
+    )
     simp.set_defaults(func=cmd_simulate)
     return parser
 

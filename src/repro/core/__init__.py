@@ -1,8 +1,9 @@
 """Fast IMT: the paper's first core contribution (§3) and its data structures."""
 
+from ..telemetry import PhaseBreakdown, Stopwatch
 from .actiontree import EMPTY, ActionTreeStore
 from .arraystore import ArrayActionStore
-from .parallel import SubspaceRunStats, run_partitioned
+from .parallel import SubspaceRunStats, WorkerTask, run_partitioned
 from .imt import (
     calculate_atomic_overwrites,
     decompose_block,
@@ -23,7 +24,6 @@ from .mr2 import (
 from .overwrite import Overwrite, atomic, check_conflict_free, make_delta
 from .rewrite import RewriteAction, RewriteAwareChecker, action_next_hops
 from .rule_index import RuleIndex, matches_intersect, patterns_intersect
-from .stats import PhaseBreakdown, Stopwatch
 from .subspace import Subspace, SubspacePartition
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "ActionTreeStore",
     "ArrayActionStore",
     "SubspaceRunStats",
+    "WorkerTask",
     "run_partitioned",
     "calculate_atomic_overwrites",
     "decompose_block",

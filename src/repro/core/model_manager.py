@@ -16,10 +16,10 @@ from ..dataplane.rule import DROP, Action
 from ..dataplane.update import RuleUpdate, UpdateBlock
 from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import MatchCompiler
+from ..telemetry import PhaseBreakdown, Telemetry
 from .actiontree import ActionTreeStore
 from .inverse_model import EcDelta, InverseModel
 from .mr2 import Mr2Pipeline
-from .stats import PhaseBreakdown
 
 
 class ModelManager:
@@ -52,9 +52,18 @@ class ModelManager:
         subspace_match=None,
         aggregate: bool = True,
         use_trie: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.layout = layout
-        self.engine = engine if engine is not None else PredicateEngine(layout.total_bits)
+        if engine is None:
+            # Share the system's registry (when given) so every manager's
+            # BDD op counts land in one snapshot.
+            registry = telemetry.registry if telemetry is not None else None
+            engine = PredicateEngine(layout.total_bits, registry=registry)
+        self.engine = engine
+        if telemetry is None:
+            telemetry = Telemetry(registry=self.engine.registry)
+        self.telemetry = telemetry
         self.store = store if store is not None else ActionTreeStore()
         self.compiler = MatchCompiler(self.engine, layout)
         self.snapshot = FibSnapshot(devices, default_action)
@@ -71,6 +80,7 @@ class ModelManager:
             self.compiler,
             aggregate_overwrites=aggregate,
             use_trie=use_trie,
+            telemetry=self.telemetry,
         )
 
     # -- ingestion ---------------------------------------------------------
@@ -105,7 +115,17 @@ class ModelManager:
     # -- accessors -----------------------------------------------------------
     @property
     def breakdown(self) -> PhaseBreakdown:
+        """The MR2 phase view over this manager's telemetry registry."""
         return self.pipeline.breakdown
+
+    @property
+    def metrics(self):
+        """The engine's predicate-operation metrics (Table 3 accounting)."""
+        return self.engine.metrics
+
+    def telemetry_snapshot(self) -> dict:
+        """One dict capturing BDD ops, MR2 phases and span aggregates."""
+        return self.telemetry.snapshot()
 
     def num_ecs(self) -> int:
         return len(self.model)

@@ -13,8 +13,7 @@ Theorem 3 (atomic overwrites commute) justifies the regrouping.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..bdd.predicate import Predicate
 from ..dataplane.fib import FibSnapshot
@@ -22,11 +21,11 @@ from ..dataplane.rule import Action
 from ..dataplane.update import RuleUpdate, UpdateBlock
 from ..errors import OverwriteConflictError
 from ..headerspace.match import MatchCompiler
+from ..telemetry import PhaseBreakdown, Telemetry
 from .imt import decompose_block, replace_table_rules
 from .rule_index import RuleIndex
 from .inverse_model import EcDelta, InverseModel
 from .overwrite import ActionDelta, Overwrite
-from .stats import PhaseBreakdown
 
 
 def map_phase(
@@ -99,6 +98,11 @@ class Mr2Pipeline:
 
     ``aggregate=False`` yields the paper's "Flash (per-update mode)" /
     APKeep-like behaviour where atomic overwrites are applied one by one.
+
+    Phase accounting flows through telemetry spans (``mr2.map`` /
+    ``mr2.reduce`` / ``mr2.apply``) plus plain ``mr2.*`` counters; the
+    classic :class:`~repro.telemetry.PhaseBreakdown` is served as a view
+    over the registry via :attr:`breakdown`.
     """
 
     def __init__(
@@ -108,6 +112,7 @@ class Mr2Pipeline:
         compiler: MatchCompiler,
         aggregate_overwrites: bool = True,
         use_trie: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.snapshot = snapshot
         self.model = model
@@ -120,7 +125,16 @@ class Mr2Pipeline:
             if use_trie
             else None
         )
-        self.breakdown = PhaseBreakdown()
+        # Share the engine's registry by default so BDD op counts and MR2
+        # phase timings land in one snapshot.
+        if telemetry is None:
+            telemetry = Telemetry(registry=compiler.engine.registry)
+        self.telemetry = telemetry
+
+    @property
+    def breakdown(self) -> PhaseBreakdown:
+        """The Figure 11 phase decomposition, read back from the registry."""
+        return PhaseBreakdown.from_registry(self.telemetry.registry)
 
     def process_block(self, block: UpdateBlock) -> List[EcDelta]:
         """Run Map → Reduce I/II → apply for one block of native updates."""
@@ -129,24 +143,23 @@ class Mr2Pipeline:
             return [
                 EcDelta(pred, vec, pred.node) for pred, vec in self.model.entries()
             ]
-        start = time.perf_counter()
-        atomics = map_phase(self.snapshot, block, self.compiler, self.indexes)
-        t_map = time.perf_counter()
-        if self.aggregate_overwrites:
-            compact = aggregate(atomics)
-        else:
-            compact = list(atomics)
-        t_reduce = time.perf_counter()
-        deltas = self.model.apply_overwrites(compact)
-        t_apply = time.perf_counter()
+        telemetry = self.telemetry
+        with telemetry.span("mr2.map"):
+            atomics = map_phase(
+                self.snapshot, block, self.compiler, self.indexes
+            )
+        with telemetry.span("mr2.reduce"):
+            if self.aggregate_overwrites:
+                compact = aggregate(atomics)
+            else:
+                compact = list(atomics)
+        with telemetry.span("mr2.apply"):
+            deltas = self.model.apply_overwrites(compact)
 
-        self.breakdown.map_seconds += t_map - start
-        self.breakdown.reduce_seconds += t_reduce - t_map
-        self.breakdown.apply_seconds += t_apply - t_reduce
-        self.breakdown.blocks += 1
-        self.breakdown.updates += len(block)
-        self.breakdown.atomic_overwrites += len(atomics)
-        self.breakdown.aggregated_overwrites += len(compact)
+        telemetry.count("mr2.blocks")
+        telemetry.count("mr2.updates", len(block))
+        telemetry.count("mr2.overwrites.atomic", len(atomics))
+        telemetry.count("mr2.overwrites.aggregated", len(compact))
         return deltas
 
     def process_updates(self, updates: Iterable[RuleUpdate]) -> List[EcDelta]:

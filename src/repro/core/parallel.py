@@ -6,6 +6,12 @@ one worker process per subspace.  This module provides the §5.5 deployment
 model in miniature — N subspaces over K workers — and is exercised by
 ``benchmarks/bench_parallel.py``.
 
+Each worker runs with its own :class:`~repro.telemetry.Telemetry`
+(reconstructed from the picklable :class:`~repro.telemetry.
+TelemetryConfig`), snapshots its registry, and ships the plain dict back;
+:func:`run_partitioned` merges the per-worker registries into one parent
+registry so a single snapshot accounts for the whole partitioned run.
+
 Updates, matches and layouts are plain picklable data; BDD predicates never
 cross process boundaries (each worker builds its own engine).
 """
@@ -13,13 +19,13 @@ cross process boundaries (each worker builds its own engine).
 from __future__ import annotations
 
 import multiprocessing
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..dataplane.update import RuleUpdate
 from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import Match
+from ..telemetry import MetricsRegistry, Telemetry, TelemetryConfig
 from .model_manager import ModelManager
 from .subspace import SubspacePartition
 
@@ -35,21 +41,43 @@ class SubspaceRunStats:
     updates: int
 
 
-def _run_one(
-    payload: Tuple[List[int], HeaderLayout, str, Match, List[RuleUpdate]]
-) -> SubspaceRunStats:
-    devices, layout, name, subspace_match, updates = payload
-    manager = ModelManager(devices, layout, subspace_match=subspace_match)
-    start = time.perf_counter()
-    manager.submit(updates)
-    manager.flush()
-    return SubspaceRunStats(
-        subspace=name,
-        seconds=time.perf_counter() - start,
-        predicate_ops=manager.engine.counter.total,
-        ecs=manager.num_ecs(),
-        updates=len(updates),
+@dataclass(frozen=True)
+class WorkerTask:
+    """One subspace worker's self-contained payload.
+
+    Replaces the historical positional 5-tuple — new knobs become fields
+    here instead of tuple surgery at every call site.
+    """
+
+    devices: Tuple[int, ...]
+    layout: HeaderLayout
+    name: str
+    subspace_match: Match
+    updates: Tuple[RuleUpdate, ...]
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+
+
+def _run_one(task: WorkerTask) -> Tuple[SubspaceRunStats, dict]:
+    """Verify one subspace; returns its stats plus a telemetry snapshot."""
+    telemetry = Telemetry.from_config(task.telemetry)
+    manager = ModelManager(
+        list(task.devices),
+        task.layout,
+        subspace_match=task.subspace_match,
+        telemetry=telemetry,
     )
+    with telemetry.span("parallel.worker", subspace=task.name):
+        manager.submit(task.updates)
+        manager.flush()
+    registry = telemetry.registry
+    stats = SubspaceRunStats(
+        subspace=task.name,
+        seconds=registry.value("span.parallel.worker.seconds"),
+        predicate_ops=manager.engine.metrics.total,
+        ecs=manager.num_ecs(),
+        updates=len(task.updates),
+    )
+    return stats, registry.snapshot()
 
 
 def run_partitioned(
@@ -58,23 +86,43 @@ def run_partitioned(
     partition: SubspacePartition,
     updates: Sequence[RuleUpdate],
     processes: Optional[int] = None,
-) -> Tuple[List[SubspaceRunStats], float]:
+    telemetry: Optional[TelemetryConfig] = None,
+) -> Tuple[List[SubspaceRunStats], float, MetricsRegistry]:
     """Run every subspace verifier, optionally across worker processes.
 
-    Returns (per-subspace stats, wall-clock seconds).  ``processes=None``
-    or ``0`` runs sequentially in-process (the baseline); any other value
-    fans subspaces out over a pool.
+    Returns ``(per-subspace stats, wall-clock seconds, merged registry)``.
+    ``processes=None`` or ``0`` runs sequentially in-process (the
+    baseline); any other value fans subspaces out over a pool.  The
+    merged registry sums every worker's counters/gauges and adds a
+    ``parallel.workers`` gauge plus a ``span.parallel.run`` aggregate for
+    the whole fan-out.
     """
+    config = telemetry if telemetry is not None else TelemetryConfig()
     routed = partition.route_updates(updates)
-    payloads = [
-        (list(devices), layout, s.name, s.match, routed[s.index])
+    tasks = [
+        WorkerTask(
+            devices=tuple(devices),
+            layout=layout,
+            name=s.name,
+            subspace_match=s.match,
+            updates=tuple(routed[s.index]),
+            telemetry=config,
+        )
         for s in partition
     ]
-    start = time.perf_counter()
-    if not processes:
-        results = [_run_one(p) for p in payloads]
-    else:
-        with multiprocessing.Pool(processes=processes) as pool:
-            results = pool.map(_run_one, payloads)
-    wall = time.perf_counter() - start
-    return results, wall
+    # The parent side always times the fan-out, even when worker-side
+    # spans are disabled by the config.
+    parent = Telemetry()
+    with parent.span("parallel.run", workers=processes or 0):
+        if not processes:
+            outcomes = [_run_one(t) for t in tasks]
+        else:
+            with multiprocessing.Pool(processes=processes) as pool:
+                outcomes = pool.map(_run_one, tasks)
+    wall = parent.registry.value("span.parallel.run.seconds")
+    results: List[SubspaceRunStats] = []
+    for stats, snapshot in outcomes:
+        results.append(stats)
+        parent.registry.merge_snapshot(snapshot)
+    parent.registry.gauge("parallel.workers").set(processes or 0)
+    return results, wall, parent.registry

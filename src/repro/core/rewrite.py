@@ -79,7 +79,7 @@ class RewriteAwareChecker:
         bdd = self.engine.bdd
         erased = bdd.exists(pred.node, self._field_vars(action.field))
         constant = bdd.cube(self.layout.bits_of(action.field, action.value))
-        self.engine.counter.conjunctions += 1
+        self.engine.metrics.record_conjunction()
         return self.engine.pred(bdd.apply_and(erased, constant))
 
     # -- transition relation ------------------------------------------------

@@ -1,71 +1,33 @@
-"""Timing and resource accounting shared by verifiers and benchmarks."""
+"""Deprecated shim — timing/accounting moved to :mod:`repro.telemetry`.
+
+``repro.core.stats`` used to define :class:`PhaseBreakdown` and
+:class:`Stopwatch`; both now live in the unified telemetry subsystem
+(``repro.telemetry.views`` / ``repro.telemetry.tracer``).  Importing them
+from here still works but emits :class:`DeprecationWarning`.
+"""
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+import warnings
+
+_MOVED = {
+    "PhaseBreakdown": "repro.telemetry",
+    "Stopwatch": "repro.telemetry",
+}
+
+__all__ = sorted(_MOVED)
 
 
-@dataclass
-class PhaseBreakdown:
-    """Wall-clock per MR2 phase — the Figure 11 decomposition.
+def __getattr__(name: str):
+    new_home = _MOVED.get(name)
+    if new_home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.core.stats.{name} is deprecated; import it from "
+        f"{new_home} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .. import telemetry
 
-    * ``map_seconds`` — computing atomic overwrites (Alg. 1);
-    * ``reduce_seconds`` — overwrite aggregation (Reduce I + II);
-    * ``apply_seconds`` — applying overwrites to the inverse model.
-    """
-
-    map_seconds: float = 0.0
-    reduce_seconds: float = 0.0
-    apply_seconds: float = 0.0
-    blocks: int = 0
-    updates: int = 0
-    atomic_overwrites: int = 0
-    aggregated_overwrites: int = 0
-
-    @property
-    def total_seconds(self) -> float:
-        return self.map_seconds + self.reduce_seconds + self.apply_seconds
-
-    def merge(self, other: "PhaseBreakdown") -> None:
-        self.map_seconds += other.map_seconds
-        self.reduce_seconds += other.reduce_seconds
-        self.apply_seconds += other.apply_seconds
-        self.blocks += other.blocks
-        self.updates += other.updates
-        self.atomic_overwrites += other.atomic_overwrites
-        self.aggregated_overwrites += other.aggregated_overwrites
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "map_seconds": self.map_seconds,
-            "reduce_seconds": self.reduce_seconds,
-            "apply_seconds": self.apply_seconds,
-            "total_seconds": self.total_seconds,
-            "blocks": self.blocks,
-            "updates": self.updates,
-            "atomic_overwrites": self.atomic_overwrites,
-            "aggregated_overwrites": self.aggregated_overwrites,
-        }
-
-
-class Stopwatch:
-    """Accumulating wall-clock timer with a context-manager interface."""
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._started: Optional[float] = None
-
-    @contextmanager
-    def measure(self) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.elapsed += time.perf_counter() - start
-
-    def reset(self) -> float:
-        elapsed, self.elapsed = self.elapsed, 0.0
-        return elapsed
+    return getattr(telemetry, name)

@@ -15,17 +15,18 @@ For offline/one-shot use (validating simulated FIBs, Figure 6 style) use
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from .ce2d.dispatcher import CE2DDispatcher
-from .ce2d.results import Verdict
-from .ce2d.verifier import Report, SubspaceVerifier
+from .ce2d.verifier import SubspaceVerifier
 from .core.rule_index import matches_intersect
 from .core.subspace import Subspace, SubspacePartition
 from .dataplane.update import EpochTag, RuleUpdate
 from .headerspace.fields import HeaderLayout
 from .network.topology import Topology
+from .results import Report, Verdict
 from .spec.requirement import Requirement
+from .telemetry import Telemetry, TelemetryConfig
 
 
 class EpochGroupVerifier:
@@ -45,11 +46,13 @@ class EpochGroupVerifier:
         check_loops: bool,
         use_dgq: bool,
         epoch: Optional[EpochTag] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.topology = topology
         self.layout = layout
         self.partition = partition
         self.epoch = epoch
+        self.telemetry = telemetry
         self.reports: List[Report] = []
         self.members: List[SubspaceVerifier] = []
         self._subspaces: List[Optional[Subspace]] = []
@@ -62,6 +65,7 @@ class EpochGroupVerifier:
                     check_loops=check_loops,
                     requirements=requirements,
                     use_dgq=use_dgq,
+                    telemetry=telemetry,
                 )
             )
             self._subspaces.append(None)
@@ -82,6 +86,7 @@ class EpochGroupVerifier:
                     check_loops=check_loops,
                     requirements=relevant,
                     use_dgq=use_dgq,
+                    telemetry=telemetry,
                 )
                 self.members.append(verifier)
                 self._subspaces.append(subspace)
@@ -126,6 +131,7 @@ class Flash:
         partition: Optional[SubspacePartition] = None,
         use_dgq: bool = True,
         max_live_verifiers: int = 8,
+        telemetry: Optional[Union[Telemetry, TelemetryConfig]] = None,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -133,8 +139,15 @@ class Flash:
         self.check_loops = check_loops
         self.partition = partition
         self.use_dgq = use_dgq
+        if telemetry is None:
+            telemetry = Telemetry()
+        elif isinstance(telemetry, TelemetryConfig):
+            telemetry = Telemetry.from_config(telemetry)
+        self.telemetry = telemetry
         self.dispatcher = CE2DDispatcher(
-            self._make_verifier, max_live_verifiers=max_live_verifiers
+            self._make_verifier,
+            max_live_verifiers=max_live_verifiers,
+            telemetry=self.telemetry,
         )
 
     def _make_verifier(self, epoch: EpochTag) -> EpochGroupVerifier:
@@ -146,6 +159,7 @@ class Flash:
             self.check_loops,
             self.use_dgq,
             epoch=epoch,
+            telemetry=self.telemetry,
         )
 
     # -- online ingestion (Figure 1 steps 2-8) -----------------------------
@@ -188,6 +202,10 @@ class Flash:
         return reports
 
     # -- results ----------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """One dict capturing metrics and finished spans for this system."""
+        return self.telemetry.snapshot()
+
     def deterministic_reports(self) -> List[Report]:
         return self.dispatcher.deterministic_reports()
 

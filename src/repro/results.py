@@ -1,0 +1,139 @@
+"""The unified result API: verdicts, reports and the ``as_dict`` contract.
+
+Every verification surface — ``Flash.verify_offline``, a standalone
+:class:`~repro.ce2d.verifier.SubspaceVerifier`, the baselines, the CLI
+and the benchmark harness — reports results through the types in this
+module, and every report serialises through the same ``as_dict()``
+contract consumed by exporters and the harness.
+
+The canonical definitions live here; ``repro.ce2d.results`` remains as a
+deprecated alias module for the historical import path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Union
+
+
+class Verdict(enum.Enum):
+    """Tri-state outcome of consistent early detection."""
+
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self is not Verdict.UNKNOWN
+
+
+@dataclass
+class VerificationReport:
+    """One deterministic (or still-unknown) result for a requirement/epoch."""
+
+    requirement: str
+    verdict: Verdict
+    epoch: Optional[Hashable] = None
+    time: Optional[float] = None
+    detail: str = ""
+    witness: Optional[List[Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "verification",
+            "requirement": self.requirement,
+            "verdict": self.verdict.value,
+            "epoch": None if self.epoch is None else str(self.epoch),
+            "time": self.time,
+            "detail": self.detail,
+            "witness": self.witness,
+        }
+
+    def __repr__(self) -> str:
+        extra = f", {self.detail}" if self.detail else ""
+        return (
+            f"VerificationReport({self.requirement}: {self.verdict.value}"
+            f"{extra})"
+        )
+
+
+@dataclass
+class LoopReport:
+    """Outcome of consistent early loop detection."""
+
+    verdict: Verdict
+    epoch: Optional[Hashable] = None
+    time: Optional[float] = None
+    loop_path: Optional[List[int]] = None
+
+    @property
+    def has_loop(self) -> bool:
+        return self.verdict is Verdict.VIOLATED
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "loop",
+            "verdict": self.verdict.value,
+            "epoch": None if self.epoch is None else str(self.epoch),
+            "time": self.time,
+            "loop_path": self.loop_path,
+        }
+
+
+#: Anything a checker can emit for one model update.
+Report = Union[LoopReport, VerificationReport]
+
+
+def as_dicts(reports: Iterable[Report]) -> List[Dict[str, Any]]:
+    """Serialise a report stream through the common contract."""
+    return [r.as_dict() for r in reports]
+
+
+def verdict_tally(reports: Iterable[Report]) -> Dict[str, int]:
+    """Count reports per verdict value (the CLI/harness summary line)."""
+    tally: Dict[str, int] = {v.value: 0 for v in Verdict}
+    for report in reports:
+        tally[report.verdict.value] += 1
+    return tally
+
+
+@dataclass
+class RunSummary:
+    """One verifier run, summarised uniformly across engines.
+
+    ``Flash``, APKeep* and Delta-net* historically printed
+    differently-shaped ad-hoc reports; this is the one shape the CLI and
+    exporters consume.  ``metrics`` carries the registry snapshot of the
+    run when telemetry is enabled.
+    """
+
+    system: str
+    seconds: float
+    verdicts: Dict[str, int]
+    model_stats: Dict[str, Any]
+    reports: List[Report]
+    metrics: Optional[Dict[str, Any]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "run",
+            "system": self.system,
+            "seconds": self.seconds,
+            "verdicts": dict(self.verdicts),
+            "model_stats": dict(self.model_stats),
+            "reports": as_dicts(self.reports),
+            "metrics": self.metrics,
+        }
+
+
+__all__ = [
+    "Verdict",
+    "VerificationReport",
+    "LoopReport",
+    "Report",
+    "RunSummary",
+    "as_dicts",
+    "verdict_tally",
+]

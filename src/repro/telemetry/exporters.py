@@ -1,0 +1,138 @@
+"""Pluggable exporters over telemetry snapshots.
+
+Three shapes, matching the three consumers in the repo:
+
+* :class:`JsonLinesExporter` — one self-describing JSON object per line
+  (``record`` key discriminates), the format behind the CLI's
+  ``--telemetry out.jsonl`` flag;
+* :class:`TableExporter` — a human-readable text table for terminals;
+* :class:`DictExporter` — the raw snapshot dict, consumed by the
+  benchmark harness and by tests.
+
+Every exporter accepts either a :class:`~repro.telemetry.config.
+Telemetry` facade or a snapshot dict already produced by one, so workers
+can export what crossed a process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from .config import Telemetry
+
+Snapshot = Dict[str, Any]
+
+
+def _coerce(source: Union[Telemetry, Snapshot]) -> Snapshot:
+    if isinstance(source, Telemetry):
+        return source.snapshot()
+    return source
+
+
+class JsonLinesExporter:
+    """Append telemetry records to a JSON-lines file.
+
+    Line grammar (one JSON object each):
+
+    * ``{"record": "meta", ...}`` — one header per export call;
+    * ``{"record": "counter"|"gauge", "name": ..., "value": ...}``;
+    * ``{"record": "histogram", "name": ..., "bounds": [...], ...}``;
+    * ``{"record": "span", "name": ..., "seconds": ...}``;
+    * ``{"record": "report", ...}`` — verification reports, when given.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def export(
+        self,
+        source: Union[Telemetry, Snapshot],
+        label: str = "",
+        reports: Iterable[Any] = (),
+    ) -> int:
+        """Write one batch of records; returns the number of lines."""
+        snap = _coerce(source)
+        lines: List[str] = []
+
+        def emit(payload: Dict[str, Any]) -> None:
+            lines.append(json.dumps(payload, sort_keys=True, default=str))
+
+        emit({"record": "meta", "label": label, "version": 1})
+        metrics = snap.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            emit({"record": "counter", "name": name, "value": value})
+        for name, value in metrics.get("gauges", {}).items():
+            emit({"record": "gauge", "name": name, "value": value})
+        for name, payload in metrics.get("histograms", {}).items():
+            emit({"record": "histogram", "name": name, **payload})
+        for span in snap.get("spans", []):
+            emit({"record": "span", **span})
+        for report in reports:
+            body = report.as_dict() if hasattr(report, "as_dict") else report
+            emit({"record": "report", **body})
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n")
+        return len(lines)
+
+
+class TableExporter:
+    """Render a snapshot as an aligned, human-readable table."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self.stream = stream
+
+    def render(self, source: Union[Telemetry, Snapshot]) -> str:
+        snap = _coerce(source)
+        metrics = snap.get("metrics", {})
+        rows: List[str] = []
+        width = max(
+            [
+                len(n)
+                for section in ("counters", "gauges")
+                for n in metrics.get(section, {})
+            ]
+            + [len(n) for n in metrics.get("histograms", {})]
+            + [24]
+        )
+        rows.append(f"{'metric':<{width}}  {'kind':<9}  value")
+        rows.append("-" * (width + 20))
+        for name, value in metrics.get("counters", {}).items():
+            shown = f"{value:.6f}" if isinstance(value, float) else str(value)
+            rows.append(f"{name:<{width}}  {'counter':<9}  {shown}")
+        for name, value in metrics.get("gauges", {}).items():
+            shown = f"{value:.6f}" if isinstance(value, float) else str(value)
+            rows.append(f"{name:<{width}}  {'gauge':<9}  {shown}")
+        for name, payload in metrics.get("histograms", {}).items():
+            mean = payload["sum"] / payload["count"] if payload["count"] else 0.0
+            rows.append(
+                f"{name:<{width}}  {'histogram':<9}  "
+                f"n={payload['count']} mean={mean:.6f}s"
+            )
+        return "\n".join(rows)
+
+    def export(self, source: Union[Telemetry, Snapshot]) -> str:
+        text = self.render(source)
+        if self.stream is not None:
+            self.stream.write(text + "\n")
+        else:
+            print(text)
+        return text
+
+
+class DictExporter:
+    """The identity exporter: hand back the snapshot dict."""
+
+    def export(self, source: Union[Telemetry, Snapshot]) -> Snapshot:
+        return _coerce(source)
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines telemetry file back into records (for tests)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

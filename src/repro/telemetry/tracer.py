@@ -1,0 +1,229 @@
+"""Span-based tracing and wall-clock accumulation.
+
+A :class:`Tracer` produces context-manager *spans*: named wall-clock
+intervals with parent/child nesting and, when enabled, ``tracemalloc``
+memory deltas.  Every finished span is
+
+* appended to a bounded in-memory ring (for exporters), and
+* folded into the tracer's :class:`~repro.telemetry.registry.
+  MetricsRegistry` as two counters — ``span.<name>.count`` and
+  ``span.<name>.seconds`` — plus an optional duration histogram
+  ``span.<name>.hist``.
+
+That second path is what makes spans *queryable*: MR2's per-phase
+timings, epoch lifecycle latency and benchmark drive loops all read back
+out of one registry snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from .registry import MetricsRegistry
+
+try:  # tracemalloc is stdlib but can be absent on exotic builds
+    import tracemalloc
+except ImportError:  # pragma: no cover
+    tracemalloc = None  # type: ignore[assignment]
+
+
+@dataclass
+class Span:
+    """One named wall-clock interval, possibly nested under a parent."""
+
+    name: str
+    start: float
+    depth: int = 0
+    parent: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    duration: Optional[float] = None
+    mem_delta_bytes: Optional[int] = None
+    mem_peak_bytes: Optional[int] = None
+    _mem_start: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start while open; final duration once finished."""
+        if self.duration is not None:
+            return self.duration
+        return time.perf_counter() - self.start
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "depth": self.depth,
+            "parent": self.parent,
+            "seconds": self.duration if self.finished else self.elapsed,
+            "finished": self.finished,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.mem_delta_bytes is not None:
+            payload["mem_delta_bytes"] = self.mem_delta_bytes
+            payload["mem_peak_bytes"] = self.mem_peak_bytes
+        return payload
+
+
+class Tracer:
+    """Factory for nested spans feeding a metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        Sink for the ``span.*`` counters; a private registry is created
+        when omitted.
+    trace_malloc:
+        Record ``tracemalloc`` current/peak deltas per span.  Requires
+        ``tracemalloc`` tracing to be active (the tracer starts it if
+        needed and available).
+    span_histograms:
+        Additionally observe each duration into ``span.<name>.hist``.
+    max_spans:
+        Bound on the retained finished-span ring (oldest dropped; the
+        drop count is kept in the ``tracer.spans_dropped`` counter).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        trace_malloc: bool = False,
+        span_histograms: bool = False,
+        max_spans: int = 2048,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.span_histograms = span_histograms
+        self.max_spans = max_spans
+        self.trace_malloc = bool(trace_malloc and tracemalloc is not None)
+        if self.trace_malloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- span lifecycle ------------------------------------------------
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a span manually (for open/close pairs that outlive a scope,
+        e.g. epoch lifecycles).  Manual spans do not join the nesting stack;
+        finish them with :meth:`end`."""
+        span = Span(name=name, start=time.perf_counter(), attrs=attrs)
+        if self.trace_malloc and tracemalloc.is_tracing():
+            span._mem_start = tracemalloc.get_traced_memory()[0]
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close a manual span and record it."""
+        if span.finished:
+            return span
+        span.duration = time.perf_counter() - span.start
+        if span._mem_start is not None and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            span.mem_delta_bytes = current - span._mem_start
+            span.mem_peak_bytes = peak
+        self._record(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """A nested context-manager span; the workhorse API."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            start=time.perf_counter(),
+            depth=len(self._stack),
+            parent=parent.name if parent is not None else None,
+            attrs=attrs,
+        )
+        if self.trace_malloc and tracemalloc.is_tracing():
+            span._mem_start = tracemalloc.get_traced_memory()[0]
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            self.end(span)
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- recording -----------------------------------------------------
+    def _record(self, span: Span) -> None:
+        self.registry.counter(f"span.{span.name}.count").inc()
+        self.registry.counter(f"span.{span.name}.seconds").inc(span.duration)
+        if self.span_histograms:
+            self.registry.histogram(f"span.{span.name}.hist").observe(
+                span.duration
+            )
+        if len(self.finished) >= self.max_spans:
+            del self.finished[0 : len(self.finished) - self.max_spans + 1]
+            self.registry.counter("tracer.spans_dropped").inc()
+        self.finished.append(span)
+
+    def drain_spans(self) -> List[Span]:
+        """Return and clear the retained finished spans."""
+        spans, self.finished = self.finished, []
+        return spans
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.finished)} finished, depth={len(self._stack)})"
+        )
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer with a context-manager interface.
+
+    Re-entrant: nested ``measure()`` scopes on the same stopwatch count
+    the outermost window exactly once instead of double-counting the
+    overlap (the historical behaviour silently inflated ``elapsed``).
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: Optional[float] = None
+        self._depth = 0
+
+    def start(self) -> None:
+        """Begin timing; nested starts only deepen the nesting count."""
+        if self._depth == 0:
+            self._started = time.perf_counter()
+        self._depth += 1
+
+    def stop(self) -> float:
+        """End the innermost scope; accumulates when the outermost closes."""
+        if self._depth == 0:
+            raise RuntimeError("Stopwatch.stop() without a matching start()")
+        self._depth -= 1
+        if self._depth == 0:
+            self.elapsed += time.perf_counter() - self._started
+            self._started = None
+        return self.elapsed
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        self.start()
+        try:
+            yield
+        finally:
+            self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._depth > 0
+
+    def peek(self) -> float:
+        """Accumulated time including the currently-open window, if any."""
+        if self._started is not None:
+            return self.elapsed + (time.perf_counter() - self._started)
+        return self.elapsed
+
+    def reset(self) -> float:
+        if self.running:
+            raise RuntimeError("cannot reset a running Stopwatch")
+        elapsed, self.elapsed = self.elapsed, 0.0
+        return elapsed

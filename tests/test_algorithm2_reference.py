@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ce2d.regex_verifier import RegexVerifier
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.core.inverse_model import EcDelta
 from repro.core.model_manager import ModelManager
 from repro.dataplane.rule import DROP, Rule

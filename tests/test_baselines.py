@@ -104,9 +104,9 @@ class TestDeltaNet:
     def test_atom_ops_counted(self):
         v = DeltaNetVerifier(DEVICES, LAYOUT)
         v.apply(insert(0, prefix_rule(1, 0, 0, 1)))
-        ops_prefix = v.counter.extra.get("atom_ops", 0)
+        ops_prefix = v.metrics.extra.get("atom_ops", 0)
         v.apply(insert(0, suffix_rule(2, 0b1, 1, 2)))
-        ops_suffix = v.counter.extra["atom_ops"] - ops_prefix
+        ops_suffix = v.metrics.extra["atom_ops"] - ops_prefix
         assert ops_suffix > ops_prefix  # non-prefix rules cost more
 
     def test_duplicate_insert_rejected(self):

@@ -4,7 +4,7 @@ convergence detection."""
 import pytest
 
 from repro.ce2d.causal import CausalConvergenceDetector
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.dataplane.rule import DROP
 from repro.errors import DispatchError
 from repro.flash import Flash

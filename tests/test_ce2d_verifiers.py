@@ -7,7 +7,7 @@ import pytest
 from repro.ce2d.dispatcher import CE2DDispatcher
 from repro.ce2d.epoch import EpochTracker
 from repro.ce2d.loop_detector import LoopDetector
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.ce2d.verifier import SubspaceVerifier
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert

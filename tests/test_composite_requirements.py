@@ -3,7 +3,7 @@ multi-epoch dispatcher replay."""
 
 import pytest
 
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.ce2d.verifier import SubspaceVerifier
 from repro.core.subspace import SubspacePartition
 from repro.dataplane.rule import Rule

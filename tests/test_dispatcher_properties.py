@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ce2d.results import LoopReport, Verdict
+from repro.results import LoopReport, Verdict
 from repro.dataplane.fib import FibSnapshot
 from repro.dataplane.rule import DROP, Rule, next_hops_of
 from repro.dataplane.update import delete, insert

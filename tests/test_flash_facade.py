@@ -14,7 +14,7 @@ from repro import (
     internet2,
     requirement,
 )
-from repro.ce2d.results import LoopReport
+from repro.results import LoopReport
 from repro.network.generators import fabric, figure3_example, ring
 from repro.routing.openr import OpenRSimulation
 

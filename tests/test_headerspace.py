@@ -244,8 +244,8 @@ class TestMatch:
         compiler = MatchCompiler(self.engine, self.layout)
         m = Match.dst_prefix(4, 2, self.layout)
         p1 = compiler.compile(m)
-        ops_before = self.engine.counter.total
+        ops_before = self.engine.metrics.total
         p2 = compiler.compile(Match.dst_prefix(4, 2, self.layout))
         assert p1 == p2
-        assert self.engine.counter.total == ops_before
+        assert self.engine.metrics.total == ops_before
         assert len(compiler) == 1

@@ -8,7 +8,7 @@ cross-pod loop) and the full Flash stack — generators → traces → dispatche
 
 import pytest
 
-from repro.ce2d.results import LoopReport, Verdict
+from repro.results import LoopReport, Verdict
 from repro.core.subspace import SubspacePartition
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert

@@ -14,7 +14,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ce2d.results import Verdict, VerificationReport
+from repro.results import Verdict, VerificationReport
 from repro.ce2d.verifier import Checker, SubspaceVerifier
 from repro.dataplane.rule import DROP, Rule, next_hops_of
 from repro.dataplane.update import insert

@@ -7,7 +7,7 @@ import pytest
 from repro.bdd.predicate import PredicateEngine
 from repro.core.actiontree import ActionTreeStore
 from repro.core.inverse_model import InverseModel
-from repro.core.stats import PhaseBreakdown, Stopwatch
+from repro.telemetry import PhaseBreakdown, Stopwatch
 from repro.dataplane.fib import FibSnapshot, enumerate_headers
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert

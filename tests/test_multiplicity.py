@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.ce2d.verifier import SubspaceVerifier
 from repro.dataplane.rule import DROP, Rule, ecmp
 from repro.dataplane.update import insert

@@ -29,11 +29,23 @@ def setup_workload():
 class TestSequential:
     def test_routes_and_stats(self):
         topo, partition, updates = setup_workload()
-        results, wall = run_partitioned(
+        results, wall, registry = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=None
         )
         assert len(results) == 2
         assert wall >= 0
+        # The merged registry aggregates worker telemetry: one worker span
+        # per subspace plus the predicate-op counters each worker tallied.
+        assert registry.value("span.parallel.worker.count") == 2
+        assert registry.value("parallel.workers") == 0  # sequential run
+        total_ops = sum(r.predicate_ops for r in results)
+        snap = registry.snapshot()
+        merged_ops = sum(
+            v
+            for n, v in snap["counters"].items()
+            if n.startswith("predicate.ops.")
+        )
+        assert merged_ops == total_ops
         by_name = {r.subspace: r for r in results}
         assert by_name["sub0"].updates == 2  # low-prefix rule + wildcard
         assert by_name["sub1"].updates == 2
@@ -41,7 +53,7 @@ class TestSequential:
 
     def test_zero_processes_means_sequential(self):
         topo, partition, updates = setup_workload()
-        results, _ = run_partitioned(
+        results, _, _ = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=0
         )
         assert len(results) == 2
@@ -50,10 +62,10 @@ class TestSequential:
 class TestParallelPool:
     def test_pool_matches_sequential(self):
         topo, partition, updates = setup_workload()
-        seq, _ = run_partitioned(
+        seq, _, reg_seq = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=None
         )
-        par, _ = run_partitioned(
+        par, _, reg_par = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=2
         )
         for s, p in zip(seq, par):
@@ -61,3 +73,11 @@ class TestParallelPool:
             assert s.ecs == p.ecs
             assert s.predicate_ops == p.predicate_ops
             assert s.updates == p.updates
+        # Worker telemetry crosses the process boundary as snapshots and
+        # merges into the parent registry identically either way.
+        assert reg_par.value("parallel.workers") == 2
+        seq_counters = reg_seq.snapshot()["counters"]
+        par_counters = reg_par.snapshot()["counters"]
+        for name in seq_counters:
+            if name.startswith("predicate.ops."):
+                assert par_counters.get(name) == seq_counters[name]

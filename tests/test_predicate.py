@@ -65,27 +65,27 @@ class TestPredicateAlgebra:
 class TestOpCounting:
     def test_counts_each_operation(self, engine):
         a, b = engine.variable(0), engine.variable(1)
-        engine.counter.reset()
+        engine.metrics.reset()
         _ = a & b
         _ = a | b
         _ = ~a
-        assert engine.counter.conjunctions == 1
-        assert engine.counter.disjunctions == 1
-        assert engine.counter.negations == 1
-        assert engine.counter.total == 3
+        assert engine.metrics.conjunctions == 1
+        assert engine.metrics.disjunctions == 1
+        assert engine.metrics.negations == 1
+        assert engine.metrics.total == 3
 
     def test_diff_counts_two_ops(self, engine):
         a, b = engine.variable(0), engine.variable(1)
-        engine.counter.reset()
+        engine.metrics.reset()
         _ = a - b
-        assert engine.counter.total == 2
+        assert engine.metrics.total == 2
 
     def test_snapshot_diff(self, engine):
         a, b = engine.variable(0), engine.variable(1)
-        before = engine.counter.snapshot()
+        before = engine.metrics.snapshot()
         _ = a & b
         _ = a & b
-        delta = engine.counter.diff(before)
+        delta = engine.metrics.diff(before)
         assert delta.conjunctions == 2
         assert delta.disjunctions == 0
 
@@ -99,9 +99,9 @@ class TestOpCounting:
         assert c.diff(snap).extra["atom_updates"] == 4
 
     def test_cube_counts_one_conjunction(self, engine):
-        engine.counter.reset()
+        engine.metrics.reset()
         engine.cube([(0, True), (1, False), (2, True)])
-        assert engine.counter.conjunctions == 1
+        assert engine.metrics.conjunctions == 1
 
     def test_memory_estimate_grows(self, engine):
         before = engine.memory_estimate_bytes()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ce2d.dispatcher import CE2DDispatcher
-from repro.ce2d.results import Verdict
+from repro.results import Verdict
 from repro.ce2d.verifier import SubspaceVerifier
 from repro.dataplane.rule import next_hops_of
 from repro.errors import SimulationError

@@ -1,0 +1,312 @@
+"""Tests for the unified telemetry subsystem (repro.telemetry).
+
+Covers the registry (get-or-create, snapshot/merge), the tracer (span
+nesting, manual epoch-style spans, the re-entrant Stopwatch), exporters
+(JSONL round-trip, table rendering), the deprecation shims over the old
+stats/result API, and an end-to-end CLI smoke test of ``--telemetry``.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.telemetry import (
+    DISABLED,
+    JsonLinesExporter,
+    MetricsRegistry,
+    OpMetrics,
+    PhaseBreakdown,
+    Stopwatch,
+    TableExporter,
+    Telemetry,
+    TelemetryConfig,
+    Tracer,
+    read_jsonl,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_value_reads_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        assert reg.value("c") == 3
+        assert reg.value("g") == 7
+        assert reg.value("missing", default=-1) == -1
+
+    def test_snapshot_is_plain_json_safe_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").observe(0.25)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"]["c"] == 2
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ops").inc(5)
+        b.counter("ops").inc(7)
+        b.counter("only_b").inc(1)
+        a.histogram("h").observe(0.002)
+        b.histogram("h").observe(0.002)
+        a.merge_snapshot(b.snapshot())
+        assert a.value("ops") == 12
+        assert a.value("only_b") == 1
+        assert a.histogram("h").count == 2
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0))
+        b.histogram("h", bounds=(1.0, 5.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+    def test_collectors_run_before_snapshot(self):
+        reg = MetricsRegistry()
+        reg.add_collector(lambda r: r.gauge("pulled").set(42))
+        assert reg.snapshot()["gauges"]["pulled"] == 42
+
+    def test_reset_zeroes_but_keeps_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.reset()
+        assert reg.value("c") == 0
+        assert "c" in reg.snapshot()["counters"]
+
+
+class TestTracer:
+    def test_span_records_count_and_seconds(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.registry.value("span.work.count") == 1
+        assert tracer.registry.value("span.work.seconds") >= 0
+
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == "outer"
+
+    def test_manual_spans_for_epoch_lifecycles(self):
+        tracer = Tracer()
+        span = tracer.begin("epoch", epoch="e1")
+        with tracer.span("check"):
+            pass  # manual spans stay off the nesting stack
+        tracer.end(span)
+        assert span.finished
+        assert span.attrs == {"epoch": "e1"}
+        assert tracer.registry.value("span.epoch.count") == 1
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(4):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.finished) <= 2
+        assert tracer.registry.value("tracer.spans_dropped") >= 1
+
+    def test_disabled_telemetry_spans_are_noops(self):
+        tel = Telemetry(config=DISABLED)
+        with tel.span("quiet") as span:
+            assert span is None
+        assert tel.registry.value("span.quiet.count") == 0
+        # Counters stay live even when spans are off.
+        tel.count("still.counted")
+        assert tel.registry.value("still.counted") == 1
+
+
+class TestStopwatch:
+    def test_accumulates_across_windows(self):
+        sw = Stopwatch()
+        with sw.measure():
+            pass
+        first = sw.elapsed
+        with sw.measure():
+            pass
+        assert sw.elapsed >= first
+
+    def test_reentrant_measure_counts_outer_window_once(self):
+        sw = Stopwatch()
+        with sw.measure():
+            with sw.measure():  # the historical bug double-counted this
+                pass
+        with sw.measure():
+            pass
+        # Nested scopes accumulate exactly one outer window, so two
+        # top-level windows mean elapsed < 2x the longest one plus slack;
+        # the precise regression check: depth returns to zero and a fresh
+        # start() is accepted.
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset_while_running_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.reset()
+        sw.stop()
+        assert sw.reset() >= 0
+
+
+class TestViews:
+    def test_op_metrics_snapshot_and_diff(self):
+        metrics = OpMetrics(MetricsRegistry())
+        metrics.record_conjunction()
+        metrics.record_disjunction(2)
+        before = metrics.snapshot()
+        metrics.record_negation()
+        metrics.bump("atom_ops", 3)
+        delta = metrics.diff(before)
+        assert delta.negations == 1
+        assert delta.conjunctions == 0
+        assert delta.extra["atom_ops"] == 3
+        assert metrics.total == 4
+
+    def test_phase_breakdown_from_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("span.mr2.map.seconds").inc(1.5)
+        reg.counter("span.mr2.apply.seconds").inc(0.5)
+        reg.counter("mr2.blocks").inc(3)
+        b = PhaseBreakdown.from_registry(reg)
+        assert b.map_seconds == 1.5
+        assert b.total_seconds == 2.0
+        assert b.blocks == 3
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, tmp_path):
+        tel = Telemetry()
+        with tel.span("phase"):
+            tel.count("ops", 4)
+        path = str(tmp_path / "out.jsonl")
+        lines = JsonLinesExporter(path).export(tel, label="unit")
+        records = read_jsonl(path)
+        assert len(records) == lines
+        assert records[0] == {"record": "meta", "label": "unit", "version": 1}
+        by_kind = {}
+        for rec in records:
+            by_kind.setdefault(rec["record"], []).append(rec)
+        counters = {r["name"]: r["value"] for r in by_kind["counter"]}
+        assert counters["ops"] == 4
+        assert counters["span.phase.count"] == 1
+        assert any(s["name"] == "phase" for s in by_kind["span"])
+
+    def test_jsonl_appends_reports(self, tmp_path):
+        from repro.results import Verdict, VerificationReport
+
+        report = VerificationReport("r1", Verdict.SATISFIED, epoch="e")
+        path = str(tmp_path / "out.jsonl")
+        JsonLinesExporter(path).export(Telemetry(), reports=[report])
+        records = read_jsonl(path)
+        reps = [r for r in records if r["record"] == "report"]
+        assert reps[0]["requirement"] == "r1"
+        assert reps[0]["verdict"] == "satisfied"
+
+    def test_table_renders_all_metric_kinds(self):
+        tel = Telemetry()
+        tel.count("c", 2)
+        tel.registry.gauge("g").set(1)
+        tel.registry.histogram("h").observe(0.1)
+        text = TableExporter().render(tel)
+        for name in ("c", "g", "h"):
+            assert name in text
+
+
+class TestDeprecationShims:
+    def test_old_stats_imports_warn_but_work(self):
+        import repro.core.stats as old_stats
+
+        with pytest.warns(DeprecationWarning):
+            cls = old_stats.PhaseBreakdown
+        assert cls is PhaseBreakdown
+
+    def test_old_results_imports_warn_but_work(self):
+        import repro.ce2d.results as old_results
+        from repro.results import Verdict
+
+        with pytest.warns(DeprecationWarning):
+            v = old_results.Verdict
+        assert v is Verdict
+
+    def test_engine_counter_warns_and_tracks_registry(self):
+        from repro.bdd.predicate import PredicateEngine
+
+        engine = PredicateEngine(4)
+        with pytest.warns(DeprecationWarning):
+            counter = engine.counter
+        _ = engine.variable(0) & engine.variable(1)
+        assert counter.conjunctions == engine.metrics.conjunctions == 1
+        counter.conjunctions = 5  # legacy writers still work
+        assert engine.metrics.conjunctions == 5
+
+
+class TestEndToEnd:
+    def test_flash_snapshot_spans_bdd_mr2_and_epochs(self):
+        """One registry snapshot covers BDD ops, MR2 phases and epochs."""
+        from repro.fibgen.shortest_path import std_fib
+        from repro.flash import Flash
+        from repro.headerspace.fields import dst_only_layout
+        from repro.network.generators import internet2
+
+        topo = internet2()
+        for switch in list(topo.switches()):
+            host = topo.add_external(f"h_{topo.name_of(switch)}")
+            topo.add_link(switch, host)
+        layout = dst_only_layout(6)
+        flash = Flash(topo, layout, check_loops=True)
+        from repro.dataplane.trace import inserts_only
+
+        flash.verify_offline(inserts_only(std_fib(topo, layout)))
+        snap = flash.telemetry_snapshot()
+        counters = snap["metrics"]["counters"]
+        gauges = snap["metrics"]["gauges"]
+        assert counters["predicate.ops.conjunction"] > 0
+        assert counters["mr2.blocks"] > 0
+        assert counters["span.mr2.map.seconds"] >= 0
+        assert counters["ce2d.epoch.opened"] == 1
+        assert counters["span.ce2d.check.count"] > 0
+        assert any(k.startswith("ce2d.verdicts.") for k in counters)
+        assert gauges["bdd.nodes"] > 0
+        assert gauges["bdd.apply.calls"] > 0
+
+    def test_cli_verify_telemetry_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = str(tmp_path / "trace.jsonl")
+        out = str(tmp_path / "telemetry.jsonl")
+        assert main([
+            "generate", "--topology", "internet2", "--dst-bits", "6",
+            "--out", trace,
+        ]) == 0
+        assert main([
+            "verify", "--topology", "internet2", "--dst-bits", "6",
+            "--trace", trace, "--telemetry", out,
+        ]) == 0
+        records = read_jsonl(out)  # every line parses as JSON
+        kinds = {r["record"] for r in records}
+        assert {"meta", "counter", "gauge", "span"} <= kinds
+        names = {r.get("name") for r in records}
+        assert "predicate.ops.conjunction" in names
+        assert "span.mr2.map.seconds" in names
