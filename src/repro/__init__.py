@@ -41,6 +41,7 @@ from .dataplane import (
 from .flash import EpochGroupVerifier, Flash
 from .headerspace import HeaderLayout, Match, Pattern, dst_only_layout, dst_src_layout
 from .network import Topology, fabric, fat_tree, internet2
+from .difftest import DifferentialRunner, ReferenceOracle, ScenarioGenerator, Shrinker
 from .routing import OpenRSimulation
 from .spec import Multiplicity, Requirement, requirement
 
@@ -86,6 +87,10 @@ __all__ = [
     "fabric",
     "fat_tree",
     "internet2",
+    "DifferentialRunner",
+    "ReferenceOracle",
+    "ScenarioGenerator",
+    "Shrinker",
     "OpenRSimulation",
     "Multiplicity",
     "Requirement",

@@ -190,9 +190,7 @@ def differences(
             if manager_b.engine is manager_a.engine:
                 overlap = pred_a & pred_b
             else:
-                overlap = pred_a & engine.pred(
-                    _transplant(manager_b, manager_a, pred_b)
-                )
+                overlap = pred_a & engine.import_predicate(pred_b)
             if overlap.is_false:
                 continue
             for device in devices:
@@ -201,24 +199,3 @@ def differences(
                 ):
                     diff[device] = diff[device] | overlap
     return {d: p for d, p in diff.items() if not p.is_false}
-
-
-def _transplant(src_manager, dst_manager, pred) -> int:
-    """Rebuild a BDD node from one engine inside another (same layout)."""
-    src = src_manager.engine.bdd
-    dst = dst_manager.engine.bdd
-    memo: Dict[int, int] = {}
-
-    def go(node: int) -> int:
-        if node <= 1:
-            return node
-        got = memo.get(node)
-        if got is not None:
-            return got
-        low = go(src.low(node))
-        high = go(src.high(node))
-        result = dst._mk(src.var(node), low, high)  # noqa: SLF001
-        memo[node] = result
-        return result
-
-    return go(pred.node)

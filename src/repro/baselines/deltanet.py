@@ -201,6 +201,17 @@ class DeltaNetVerifier:
         header = self.layout.flatten(values)
         return {d: self.action_at(d, header) for d in self.devices}
 
+    def atoms(self) -> Iterable[Tuple[int, int, Tuple[Action, ...]]]:
+        """Yield ``(start, end_exclusive, behavior vector)`` per atom.
+
+        The vector is ordered by ``self.devices`` — the interface the
+        differential tester consumes, so other code need not reach into
+        the private bound list.
+        """
+        bounds = self._bounds + [self.layout.universe_size]
+        for lo, hi in zip(bounds, bounds[1:]):
+            yield lo, hi, self.atom_vector(lo)
+
     def atom_vector(self, start: int) -> Tuple[Action, ...]:
         cells = self._cells[start]
         return tuple(

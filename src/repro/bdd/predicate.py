@@ -343,6 +343,39 @@ class PredicateEngine:
             result = self.conj(result, p)
         return result
 
+    # -- cross-engine ---------------------------------------------------
+    def import_predicate(self, pred: Predicate) -> Predicate:
+        """Rebuild a predicate from another engine inside this one.
+
+        Both engines must use the same variable order (the layouts must
+        agree); node ids are remapped structurally, so the result is the
+        same boolean function and BDD equality across engines reduces to
+        ``self.import_predicate(a) == self.import_predicate(b)``.
+        """
+        if pred.engine is self:
+            return pred
+        if pred.engine.num_vars > self.num_vars:
+            raise ValueError(
+                f"cannot import predicate over {pred.engine.num_vars} vars "
+                f"into an engine with {self.num_vars}"
+            )
+        src = pred.engine.bdd
+        memo: Dict[int, int] = {}
+
+        def go(node: int) -> int:
+            if node <= 1:
+                return node
+            got = memo.get(node)
+            if got is not None:
+                return got
+            result = self.bdd._mk(  # noqa: SLF001
+                src.var(node), go(src.low(node)), go(src.high(node))
+            )
+            memo[node] = result
+            return result
+
+        return self.pred(go(pred.node))
+
     # -- bookkeeping -----------------------------------------------------
     def _check(self, a: Predicate, b: Predicate) -> None:
         if a.engine is not self or b.engine is not self:

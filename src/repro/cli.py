@@ -181,6 +181,52 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: cross-check every engine on random scenarios."""
+    from .difftest import DifferentialRunner, ScenarioGenerator, Shrinker
+    from .difftest.corpus import save_scenario
+
+    telemetry = Telemetry.from_config(TelemetryConfig())
+    generator = ScenarioGenerator(seed=args.seed, profile=args.profile)
+    runner = DifferentialRunner(telemetry=telemetry)
+    print(
+        f"fuzzing: profile={args.profile} seed={args.seed} "
+        f"iterations={args.iterations}"
+    )
+    start = time.perf_counter()
+    divergent = 0
+    for index, scenario in enumerate(generator.stream(args.iterations)):
+        if args.time_budget and time.perf_counter() - start > args.time_budget:
+            print(f"time budget ({args.time_budget:.0f}s) reached "
+                  f"after {index} scenarios")
+            break
+        result = runner.run(scenario)
+        if result.ok:
+            continue
+        divergent += 1
+        print(f"DIVERGENCE in {scenario.name} "
+              f"({len(result.divergences)} findings, kinds: "
+              f"{', '.join(result.kinds)})")
+        for item in result.divergences[:5]:
+            print(f"  {item!r}")
+        shrunk, shrunk_result = Shrinker(runner).shrink(scenario, result)
+        print(f"  shrunk to {len(shrunk.updates)} updates / "
+              f"{len(shrunk.requirements)} requirements")
+        if args.corpus:
+            path = save_scenario(shrunk, args.corpus)
+            print(f"  saved reproducer to {path}")
+        if divergent >= args.max_divergences:
+            print("stopping: --max-divergences reached")
+            break
+    elapsed = time.perf_counter() - start
+    scenarios = telemetry.registry.value("difftest.scenarios")
+    print(f"{scenarios:.0f} scenarios replayed in {elapsed:.1f}s: "
+          f"{divergent} divergent")
+    if args.telemetry:
+        _export_telemetry(args.telemetry, telemetry, f"fuzz:{args.profile}")
+    return 1 if divergent else 0
+
+
 def cmd_simulate(args) -> int:
     topo = _build_topology(args)
     layout = dst_only_layout(args.dst_bits)
@@ -254,6 +300,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="device name to trace a header from")
     ana.add_argument("--trace-dst", type=int, default=0, dest="trace_dst")
     ana.set_defaults(func=cmd_analyze)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across all verification engines"
+    )
+    fuzz.add_argument("--seed", type=int, default=1234)
+    fuzz.add_argument("--iterations", type=int, default=50)
+    fuzz.add_argument("--profile", default="smoke", choices=["smoke", "deep"])
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="directory to save shrunken divergent scenarios into",
+    )
+    fuzz.add_argument(
+        "--max-divergences", type=int, default=5, dest="max_divergences",
+        help="stop after this many divergent scenarios",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=0.0, dest="time_budget",
+        help="stop starting new scenarios after this many seconds",
+    )
+    fuzz.add_argument(
+        "--telemetry", default=None, metavar="OUT.JSONL",
+        help="append metric/span/report records to a JSON-lines file",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     simp = sub.add_parser("simulate", help="run the OpenR simulation + CE2D")
     simp.add_argument("--topology", default="internet2")

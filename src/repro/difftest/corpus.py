@@ -1,0 +1,43 @@
+"""Persistence of shrunk scenarios — the regression corpus.
+
+Divergent scenarios found by fuzzing are shrunk and serialised to JSON
+under ``tests/corpus/``; a deterministic pytest entry point
+(``tests/test_corpus_replay.py``) replays every file on each run, so a
+fixed divergence can never silently regress.  Files are stable
+(``sort_keys`` + indent) to keep diffs reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+from .scenario import Scenario
+
+PathLike = Union[str, Path]
+
+
+def save_scenario(scenario: Scenario, directory: PathLike) -> Path:
+    """Write ``<directory>/<scenario.name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{scenario.name}.json"
+    path.write_text(
+        json.dumps(scenario.as_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_scenario(path: PathLike) -> Scenario:
+    return Scenario.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def iter_corpus(directory: PathLike) -> Iterator[Tuple[Path, Scenario]]:
+    """Yield ``(path, scenario)`` for every corpus file, in name order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        yield path, load_scenario(path)

@@ -1,0 +1,153 @@
+"""The brute-force reference oracle.
+
+:class:`ReferenceOracle` is the simplest implementation of §3.1's forward
+model that could possibly be right: it keeps plain priority-sorted FIB
+tables (:class:`~repro.dataplane.fib.FibSnapshot`) and answers every
+question by enumerating concrete headers and walking the forwarding
+graph.  No BDDs, no atoms, no incrementality — O(|H| · |V|) per query,
+usable only on the small layouts the fuzzer generates, and therefore a
+trustworthy ground truth for the clever engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+from ..dataplane.fib import FibSnapshot
+from ..dataplane.rule import Action, next_hops_of
+from ..dataplane.update import RuleUpdate
+from ..headerspace.fields import HeaderLayout
+from ..network.topology import Topology
+
+Vector = Tuple[Action, ...]
+
+
+def reaches_external(
+    topology: Topology, action_of: Callable[[int], Action], source: int
+) -> bool:
+    """Whether *some* forwarding walk from ``source`` delivers externally.
+
+    ECMP actions fan out; an edge only exists where the topology has the
+    link (matching the CE2D verification-graph semantics).  Delivery means
+    stepping onto an external (virtual) node.
+    """
+    seen: Set[int] = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if topology.device(node).is_external:
+            return True
+        for hop in next_hops_of(action_of(node)):
+            if not topology.has_link(node, hop):
+                continue
+            if topology.device(hop).is_external:
+                return True
+            if hop not in seen:
+                stack.append(hop)
+    return False
+
+
+def forwarding_cycle(
+    topology: Topology, action_of: Callable[[int], Action]
+) -> bool:
+    """Whether the forwarding graph over switches contains a cycle."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+
+    def successors(node: int) -> List[int]:
+        return [
+            hop
+            for hop in next_hops_of(action_of(node))
+            if topology.has_link(node, hop)
+            and not topology.device(hop).is_external
+        ]
+
+    for start in topology.switches():
+        if color.get(start, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[int, Iterable[int]]] = [(start, iter(successors(start)))]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for hop in it:
+                state = color.get(hop, WHITE)
+                if state == GREY:
+                    return True
+                if state == WHITE:
+                    color[hop] = GREY
+                    stack.append((hop, iter(successors(hop))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+class ReferenceOracle:
+    """Naive per-packet forwarding-graph evaluation over all headers."""
+
+    def __init__(self, topology: Topology, layout: HeaderLayout) -> None:
+        self.topology = topology
+        self.layout = layout
+        self.devices = sorted(topology.switches())
+        self.snapshot = FibSnapshot(self.devices)
+
+    # -- update processing ----------------------------------------------
+    def apply(self, update: RuleUpdate) -> None:
+        table = self.snapshot.table(update.device)
+        if update.is_insert:
+            table.insert(update.rule)
+        else:
+            table.delete(update.rule)
+
+    def process_updates(self, updates: Iterable[RuleUpdate]) -> None:
+        for u in updates:
+            self.apply(u)
+
+    # -- queries ---------------------------------------------------------
+    def behavior(self, values: Dict[str, int]) -> Dict[int, Action]:
+        return self.snapshot.behavior(values)
+
+    def classes(self) -> Dict[Vector, List[int]]:
+        """Exhaustive equivalence classes: behavior vector → headers.
+
+        The vector is ordered by ``self.devices`` (ascending device id),
+        the canonical order used across the differential comparison.
+        """
+        out: Dict[Vector, List[int]] = {}
+        for header in range(self.layout.universe_size):
+            values = self.layout.unflatten(header)
+            vector = tuple(
+                self.snapshot.table(d).lookup(values) for d in self.devices
+            )
+            out.setdefault(vector, []).append(header)
+        return out
+
+    def reachable_headers(self, source: int) -> List[int]:
+        """Headers whose forwarding walk from ``source`` delivers."""
+        out: List[int] = []
+        for vector, headers in self.classes().items():
+            actions = dict(zip(self.devices, vector))
+            if reaches_external(self.topology, actions.__getitem__, source):
+                out.extend(headers)
+        return sorted(out)
+
+    def loop_headers(self) -> List[int]:
+        """Headers whose forwarding graph contains a cycle."""
+        out: List[int] = []
+        for vector, headers in self.classes().items():
+            actions = dict(zip(self.devices, vector))
+            if forwarding_cycle(self.topology, actions.__getitem__):
+                out.extend(headers)
+        return sorted(out)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceOracle({len(self.devices)} devices, "
+            f"{self.layout.universe_size} headers)"
+        )

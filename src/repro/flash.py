@@ -47,6 +47,7 @@ class EpochGroupVerifier:
         use_dgq: bool,
         epoch: Optional[EpochTag] = None,
         telemetry: Optional[Telemetry] = None,
+        block_threshold: Optional[int] = None,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -65,6 +66,7 @@ class EpochGroupVerifier:
                     check_loops=check_loops,
                     requirements=requirements,
                     use_dgq=use_dgq,
+                    block_threshold=block_threshold,
                     telemetry=telemetry,
                 )
             )
@@ -86,6 +88,7 @@ class EpochGroupVerifier:
                     check_loops=check_loops,
                     requirements=relevant,
                     use_dgq=use_dgq,
+                    block_threshold=block_threshold,
                     telemetry=telemetry,
                 )
                 self.members.append(verifier)
@@ -131,6 +134,7 @@ class Flash:
         partition: Optional[SubspacePartition] = None,
         use_dgq: bool = True,
         max_live_verifiers: int = 8,
+        block_threshold: Optional[int] = None,
         telemetry: Optional[Union[Telemetry, TelemetryConfig]] = None,
     ) -> None:
         self.topology = topology
@@ -139,6 +143,10 @@ class Flash:
         self.check_loops = check_loops
         self.partition = partition
         self.use_dgq = use_dgq
+        # None = aggregate each device batch as one MR2 block (the fast
+        # path); 1 = the paper's per-update mode, exposed here so the
+        # differential tester can cross-check both facade paths.
+        self.block_threshold = block_threshold
         if telemetry is None:
             telemetry = Telemetry()
         elif isinstance(telemetry, TelemetryConfig):
@@ -160,6 +168,7 @@ class Flash:
             self.use_dgq,
             epoch=epoch,
             telemetry=self.telemetry,
+            block_threshold=self.block_threshold,
         )
 
     # -- online ingestion (Figure 1 steps 2-8) -----------------------------

@@ -86,6 +86,28 @@ class LoopReport:
 Report = Union[LoopReport, VerificationReport]
 
 
+def report_from_dict(data: Dict[str, Any]) -> Report:
+    """Rebuild a report from its ``as_dict()`` form (dispatch on kind)."""
+    kind = data.get("kind")
+    if kind == "verification":
+        return VerificationReport(
+            requirement=data["requirement"],
+            verdict=Verdict(data["verdict"]),
+            epoch=data.get("epoch"),
+            time=data.get("time"),
+            detail=data.get("detail", ""),
+            witness=data.get("witness"),
+        )
+    if kind == "loop":
+        return LoopReport(
+            verdict=Verdict(data["verdict"]),
+            epoch=data.get("epoch"),
+            time=data.get("time"),
+            loop_path=data.get("loop_path"),
+        )
+    raise ValueError(f"unknown report kind: {kind!r}")
+
+
 def as_dicts(reports: Iterable[Report]) -> List[Dict[str, Any]]:
     """Serialise a report stream through the common contract."""
     return [r.as_dict() for r in reports]
@@ -127,6 +149,17 @@ class RunSummary:
             "metrics": self.metrics,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSummary":
+        return cls(
+            system=data["system"],
+            seconds=data["seconds"],
+            verdicts=dict(data["verdicts"]),
+            model_stats=dict(data["model_stats"]),
+            reports=[report_from_dict(r) for r in data["reports"]],
+            metrics=data.get("metrics"),
+        )
+
 
 __all__ = [
     "Verdict",
@@ -135,5 +168,6 @@ __all__ = [
     "Report",
     "RunSummary",
     "as_dicts",
+    "report_from_dict",
     "verdict_tally",
 ]

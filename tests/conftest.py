@@ -1,5 +1,18 @@
-"""Shared fixtures and strategy helpers for the test suite."""
+"""Shared fixtures, seeding, and strategy helpers for the test suite.
 
+All randomized tests derive their randomness from one pytest option::
+
+    pytest --repro-seed 4242
+
+An autouse fixture reseeds the global :mod:`random` module per test from
+``(--repro-seed, test nodeid)``, and failing tests print the seed so any
+failure reproduces with the printed value.  Tests that need their own
+generator call :func:`case_rng`, which mixes the base seed in the same
+way.
+"""
+
+import random
+import zlib
 from typing import Dict, List
 
 import pytest
@@ -9,6 +22,65 @@ from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import RuleUpdate, UpdateOp
 from repro.headerspace.fields import HeaderLayout, dst_only_layout
 from repro.headerspace.match import Match, Pattern
+
+DEFAULT_SEED = 1234
+_base_seed = DEFAULT_SEED
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="base seed for all randomized tests (printed on failure)",
+    )
+
+
+def pytest_configure(config):
+    global _base_seed
+    _base_seed = config.getoption("--repro-seed")
+
+
+def base_seed() -> int:
+    """The --repro-seed value of the current run."""
+    return _base_seed
+
+
+def case_rng(case_seed: int = 0) -> random.Random:
+    """A fresh generator mixing ``--repro-seed`` with a per-case seed.
+
+    Property tests drawing a case index from hypothesis pass it here, so
+    one CLI option reseeds every randomized test in the suite.
+    """
+    return random.Random((_base_seed << 32) ^ (case_seed & 0xFFFFFFFF))
+
+
+def _seed_for(nodeid: str) -> int:
+    return (_base_seed << 32) ^ zlib.crc32(nodeid.encode("utf-8"))
+
+
+@pytest.fixture(autouse=True)
+def _reseed_global_random(request):
+    """Reseed the global random module per test, reproducibly."""
+    seed = _seed_for(request.node.nodeid)
+    state = random.getstate()
+    random.seed(seed)
+    yield
+    random.setstate(state)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "repro seed",
+                f"--repro-seed {_base_seed} "
+                f"(this test's derived seed: {_seed_for(item.nodeid)})",
+            )
+        )
 
 
 def random_rule_strategy(layout: HeaderLayout, actions: List[int], max_priority=6):

@@ -14,6 +14,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.results import Verdict
+
+from .conftest import case_rng
 from repro.ce2d.verifier import SubspaceVerifier
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert
@@ -75,7 +77,7 @@ class TestLoopConsistency:
     @given(st.integers(0, 10_000))
     @settings(max_examples=60, deadline=None)
     def test_verdict_never_flips_and_matches_final(self, seed):
-        rng = random.Random(seed)
+        rng = case_rng(seed)
         topo = random_topology(rng)
         fibs = random_fibs(topo, rng)
         switches = topo.switches()
@@ -100,7 +102,7 @@ class TestLoopConsistency:
     @given(st.integers(0, 10_000))
     @settings(max_examples=30, deadline=None)
     def test_two_orders_agree_on_final_verdict(self, seed):
-        rng = random.Random(seed)
+        rng = case_rng(seed)
         topo = random_topology(rng)
         fibs = random_fibs(topo, rng)
         switches = topo.switches()
@@ -126,7 +128,7 @@ class TestReachabilityConsistency:
     @given(st.integers(0, 10_000))
     @settings(max_examples=50, deadline=None)
     def test_reachability_verdict_consistent(self, seed):
-        rng = random.Random(seed)
+        rng = case_rng(seed)
         topo = random_topology(rng)
         fibs = random_fibs(topo, rng)
         switches = topo.switches()
@@ -147,7 +149,7 @@ class TestReachabilityConsistency:
     def test_verdict_matches_ground_truth_walk(self, seed):
         """The converged SATISFIED/VIOLATED verdict matches a brute-force
         walk of the final FIBs."""
-        rng = random.Random(seed)
+        rng = case_rng(seed)
         topo = random_topology(rng)
         fibs = random_fibs(topo, rng)
         switches = topo.switches()

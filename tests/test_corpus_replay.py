@@ -1,0 +1,45 @@
+"""Deterministic replay of the checked-in regression corpus.
+
+Every scenario under ``tests/corpus/`` — shrunken divergence reproducers
+and seeded edge cases — is replayed through the full differential runner
+on every test run.  A fixed divergence can therefore never silently come
+back, and each case must stay fast (< 1 s) so the corpus scales.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.difftest import DifferentialRunner
+from repro.difftest.corpus import iter_corpus, load_scenario, save_scenario
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 3, "expected at least 3 checked-in scenarios"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_scenario_replays_clean(path):
+    scenario = load_scenario(path)
+    start = time.perf_counter()
+    result = DifferentialRunner().run(scenario)
+    elapsed = time.perf_counter() - start
+    assert result.ok, (scenario.name, result.divergences)
+    assert elapsed < 1.0, f"{scenario.name} took {elapsed:.2f}s (budget 1s)"
+
+
+def test_corpus_files_are_canonical(tmp_path):
+    """Checked-in files match their canonical serialised form exactly."""
+    for path, scenario in iter_corpus(CORPUS_DIR):
+        resaved = save_scenario(scenario, tmp_path)
+        assert path.read_text() == resaved.read_text(), path.name
+
+
+def test_save_round_trips(tmp_path):
+    _, scenario = next(iter_corpus(CORPUS_DIR))
+    saved = save_scenario(scenario, tmp_path)
+    assert load_scenario(saved).as_dict() == scenario.as_dict()

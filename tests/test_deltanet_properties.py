@@ -6,13 +6,18 @@ from hypothesis import strategies as st
 
 from repro.baselines.deltanet import DeltaNetVerifier
 from repro.dataplane.fib import FibSnapshot
-from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.rule import DROP
 from repro.dataplane.update import delete, insert
 from repro.headerspace.fields import dst_only_layout
-from repro.headerspace.match import Match, Pattern
+
+from .conftest import random_rule_strategy
 
 LAYOUT = dst_only_layout(4)
 DEVICES = [0, 1]
+
+# Prefix/suffix rule construction is shared with the rest of the suite
+# via conftest; unique priorities keep every delete unambiguous.
+_rules = random_rule_strategy(LAYOUT, actions=[1, 2, DROP], max_priority=40)
 
 
 @st.composite
@@ -28,20 +33,10 @@ def update_sequences(draw):
             installed[device].remove(victim)
             events.append(delete(device, victim))
             continue
-        priority = draw(st.integers(0, 40))
-        if priority in used[device]:
+        rule = draw(_rules)
+        if rule.priority in used[device]:
             continue
-        used[device].add(priority)
-        if draw(st.booleans()):
-            match = Match.dst_prefix(
-                draw(st.integers(0, 15)), draw(st.integers(0, 4)), LAYOUT
-            )
-        else:
-            match = Match(
-                {"dst": Pattern.suffix(draw(st.integers(0, 15)),
-                                       draw(st.integers(0, 4)), 4)}
-            )
-        rule = Rule(priority, match, draw(st.sampled_from([1, 2, DROP])))
+        used[device].add(rule.priority)
         installed[device].append(rule)
         events.append(insert(device, rule))
     return events

@@ -1,0 +1,111 @@
+"""The ``as_dict`` contract round-trips, and the legacy shims warn."""
+
+import warnings
+
+import pytest
+
+from repro.results import (
+    LoopReport,
+    RunSummary,
+    Verdict,
+    VerificationReport,
+    as_dicts,
+    report_from_dict,
+    verdict_tally,
+)
+
+
+class TestReportRoundTrip:
+    @pytest.mark.parametrize("verdict", list(Verdict))
+    def test_verification_report(self, verdict):
+        report = VerificationReport(
+            requirement="reach-sink",
+            verdict=verdict,
+            epoch="epoch-3",
+            time=1.25,
+            detail="ec 4 violated",
+            witness=[3, 1, 2],
+        )
+        assert report_from_dict(report.as_dict()) == report
+
+    def test_verification_report_defaults(self):
+        report = VerificationReport("r", Verdict.UNKNOWN)
+        assert report_from_dict(report.as_dict()) == report
+
+    @pytest.mark.parametrize("verdict", list(Verdict))
+    def test_loop_report(self, verdict):
+        report = LoopReport(
+            verdict=verdict, epoch="e-1", time=0.5, loop_path=[1, 2, 1]
+        )
+        rebuilt = report_from_dict(report.as_dict())
+        assert rebuilt == report
+        assert rebuilt.has_loop == (verdict is Verdict.VIOLATED)
+
+    def test_loop_report_defaults(self):
+        report = LoopReport(Verdict.SATISFIED)
+        assert report_from_dict(report.as_dict()) == report
+
+    def test_run_summary(self):
+        reports = [
+            VerificationReport("r1", Verdict.SATISFIED, epoch="e"),
+            LoopReport(Verdict.VIOLATED, epoch="e", loop_path=[0, 1, 0]),
+        ]
+        summary = RunSummary(
+            system="flash",
+            seconds=2.5,
+            verdicts=verdict_tally(reports),
+            model_stats={"ecs": 12},
+            reports=reports,
+            metrics={"imt.blocks": 3},
+        )
+        assert RunSummary.from_dict(summary.as_dict()) == summary
+
+    def test_as_dicts_matches_individual(self):
+        reports = [
+            LoopReport(Verdict.SATISFIED),
+            VerificationReport("r", Verdict.VIOLATED),
+        ]
+        assert as_dicts(reports) == [r.as_dict() for r in reports]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            report_from_dict({"kind": "mystery"})
+
+
+class TestDeprecationShims:
+    def _collect(self, access):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            value = access()
+        deprecations = [
+            w for w in record if issubclass(w.category, DeprecationWarning)
+        ]
+        return value, deprecations
+
+    def test_ce2d_results_warns_exactly_once(self):
+        from repro.ce2d import results as shim
+
+        for name in ("Verdict", "VerificationReport", "LoopReport"):
+            value, deprecations = self._collect(lambda: getattr(shim, name))
+            assert len(deprecations) == 1, name
+            assert "repro.results" in str(deprecations[0].message)
+            import repro.results
+
+            assert value is getattr(repro.results, name)
+
+    def test_core_stats_warns_exactly_once(self):
+        from repro.core import stats as shim
+
+        for name in ("Stopwatch", "PhaseBreakdown"):
+            value, deprecations = self._collect(lambda: getattr(shim, name))
+            assert len(deprecations) == 1, name
+            assert "repro.telemetry" in str(deprecations[0].message)
+            import repro.telemetry
+
+            assert value is getattr(repro.telemetry, name)
+
+    def test_unknown_attribute_raises(self):
+        from repro.ce2d import results as shim
+
+        with pytest.raises(AttributeError):
+            shim.DoesNotExist  # noqa: B018
