@@ -1,0 +1,397 @@
+"""BDD engine micro-benchmark and regression harness (``BENCH_bdd.json``).
+
+Measures the rebuilt :class:`repro.bdd.engine.BDD` against the pre-PR
+recursive engine (:class:`repro.bdd.reference.ReferenceBDD`) on the
+operation mix data-plane verification actually issues, and writes a
+machine-readable report that doubles as the committed regression
+baseline.
+
+Workloads
+---------
+* ``prefix_heavy`` — the headline: an announce/withdraw stream over
+  random IPv4-style prefixes applied uniformly through the ITE
+  primitive (``p' = ite(match, behaviour, p)``), i.e. how a verifier
+  applies FIB updates without pre-classifying them.  The reference
+  engine expands its derived ``ite = (f∧g) ∨ (¬f∧h)`` into several
+  linear walks per update; the rebuilt engine's first-class ITE plus
+  the cube-selector graft does one.
+* ``reroute`` — region swaps between two maintained port predicates
+  (``a' = ite(c, b, a)``): true three-operand ITEs whose branches are
+  both large.
+* ``fib_accumulate`` — the priority-ordered FIB-to-predicate
+  conversion loop (``p = match ∧ ¬covered; covered ∨= match``).  Both
+  engines are near parity here (the reference memoizes structural
+  negation per node); kept as an honest guard against regressions on
+  accumulation shapes.
+* ``random`` — random conjunction/disjunction/xor mix over dense
+  random predicates; exercises the general apply loop where recursion
+  is at its best, so the expected ratio is below 1.
+* ``satcount`` — repeated model counting over the predicates built by
+  a prefix stream; exercises the memoized counting path.
+
+Methodology
+-----------
+Reference and rebuilt engines run *interleaved* within each round on
+CPU time (``time.process_time``), and the reported ratio is the median
+of per-round ratios — wall-clock noise on shared machines swings far
+more than the 20% regression budget, medians of paired rounds do not.
+Cubes are prebuilt outside the timed region (header encoding is
+``cube()``'s job and is benchmarked implicitly by both engines the
+same way).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_micro.py              # full run
+    PYTHONPATH=src python benchmarks/bench_micro.py --quick      # CI smoke
+    PYTHONPATH=src python benchmarks/bench_micro.py --check      # regression gate
+
+``--check`` reruns the suite and fails (exit 1) when a workload's
+new/reference speedup drops more than 20% below the committed baseline
+(``BENCH_bdd.json``), or when ``prefix_heavy`` falls under the 2.0x
+acceptance floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bdd.engine import BDD
+from repro.bdd.predicate import PredicateEngine
+from repro.bdd.reference import ReferenceBDD
+from repro.telemetry import BddEngineStats, MetricsRegistry
+
+NUM_VARS = 32
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_bdd.json"
+)
+
+#: Workload speedup must stay above ``baseline * (1 - TOLERANCE)``.
+TOLERANCE = 0.20
+#: Acceptance floor for the headline workload's speedup.
+PREFIX_HEAVY_FLOOR = 2.0
+
+
+# ----------------------------------------------------------------------
+# Workload definitions.  Each is a (prepare, run) pair: `prepare` builds
+# the operand predicates (cubes, variable pools) on the engine *outside*
+# the timed region — header encoding costs both engines the same and
+# would only dilute the operation-throughput ratio — and `run` executes
+# the timed stream, returning (op_count, checksum).  Checksums are
+# compared between engines so every round also validates semantics.
+# ----------------------------------------------------------------------
+
+def _make_cubes(eng, rng: random.Random, n: int, lo: int = 8, hi: int = 28):
+    cubes = []
+    for _ in range(n):
+        plen = rng.randint(lo, hi)
+        bits = rng.getrandbits(plen)
+        cubes.append(
+            eng.cube(
+                [(i, bool((bits >> (plen - 1 - i)) & 1)) for i in range(plen)]
+            )
+        )
+    return cubes
+
+
+def _prep_prefix_heavy(eng, rng: random.Random, n: int):
+    cubes = _make_cubes(eng, rng, n)
+    withdraw = [rng.random() < 0.3 for _ in range(n)]
+    return cubes, withdraw
+
+
+def _wl_prefix_heavy(eng, state, n: int) -> Tuple[int, int]:
+    cubes, withdraw = state
+    ite = eng.ite
+    p = 0
+    for idx in range(n):
+        p = ite(cubes[idx], 0, p) if withdraw[idx] else ite(cubes[idx], 1, p)
+    return n, eng.sat_count(p)
+
+
+def _prep_cubes_only(eng, rng: random.Random, n: int):
+    return _make_cubes(eng, rng, n)
+
+
+def _wl_reroute(eng, cubes, n: int) -> Tuple[int, int]:
+    ite = eng.ite
+    va, vb = 0, 1
+    for idx in range(n):
+        c = cubes[idx]
+        va = ite(c, vb, va)
+        if idx & 1:
+            vb = eng.apply_or(vb, c)
+        else:
+            vb = eng.apply_diff(vb, c)
+    return 2 * n, eng.sat_count(va) ^ eng.sat_count(vb)
+
+
+def _prep_fib(eng, rng: random.Random, n: int):
+    cubes = _make_cubes(eng, rng, n)
+    ports = [rng.randrange(8) for _ in range(n)]
+    return cubes, ports
+
+
+def _wl_fib_accumulate(eng, state, n: int) -> Tuple[int, int]:
+    cubes, ports = state
+    covered = 0
+    pred = [0] * 8
+    for idx in range(n):
+        c = cubes[idx]
+        p = eng.apply_diff(c, covered)
+        covered = eng.apply_or(covered, c)
+        k = ports[idx]
+        pred[k] = eng.apply_or(pred[k], p)
+    check = eng.sat_count(covered)
+    for p in pred:
+        check ^= eng.sat_count(p)
+    return 3 * n, check
+
+
+def _prep_random(eng, rng: random.Random, n: int):
+    pool = [eng.ith_var(i) for i in range(NUM_VARS)]
+    ops = [rng.randrange(3) for _ in range(n)]
+    picks = [
+        (rng.randrange(len(pool) + idx), rng.randrange(len(pool) + idx))
+        for idx in range(n)
+    ]
+    return pool, ops, picks
+
+
+def _wl_random(eng, state, n: int) -> Tuple[int, int]:
+    pool, ops, picks = state
+    pool = list(pool)
+    for idx in range(n):
+        i, j = picks[idx]
+        a = pool[i % len(pool)]
+        b = pool[j % len(pool)]
+        op = ops[idx]
+        if op == 0:
+            pool.append(eng.apply_and(a, b))
+        elif op == 1:
+            pool.append(eng.apply_or(a, b))
+        else:
+            pool.append(eng.apply_xor(a, b))
+    return n, eng.sat_count(pool[-1])
+
+
+def _prep_satcount(eng, rng: random.Random, n: int):
+    cubes = _make_cubes(eng, rng, max(64, n // 8))
+    p = 0
+    preds = []
+    for c in cubes:
+        p = eng.apply_or(p, c)
+        preds.append(p)
+    return preds
+
+
+def _wl_satcount(eng, preds, n: int) -> Tuple[int, int]:
+    check = 0
+    sat_count = eng.sat_count
+    for idx in range(n):
+        check ^= sat_count(preds[idx % len(preds)])
+    return n, check
+
+
+WORKLOADS: Dict[str, Tuple[Callable, Callable, int, int]] = {
+    # name -> (prepare, run, full_n, quick_n)
+    "prefix_heavy": (_prep_prefix_heavy, _wl_prefix_heavy, 1200, 600),
+    "reroute": (_prep_cubes_only, _wl_reroute, 800, 300),
+    "fib_accumulate": (_prep_fib, _wl_fib_accumulate, 800, 300),
+    "random": (_prep_random, _wl_random, 600, 300),
+    "satcount": (_prep_satcount, _wl_satcount, 4000, 3000),
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+
+def _run_once(make_engine, prepare, fn, seed: int, n: int):
+    eng = make_engine()
+    rng = random.Random(seed)
+    state = prepare(eng, rng, n)
+    t0 = time.process_time()
+    ops, check = fn(eng, state, n)
+    dt = time.process_time() - t0
+    return dt, ops, check, eng
+
+
+def bench_workload(name: str, n: int, seed: int, rounds: int) -> Dict[str, object]:
+    prepare, fn = WORKLOADS[name][0], WORKLOADS[name][1]
+    ratios: List[float] = []
+    ref_times: List[float] = []
+    new_times: List[float] = []
+    ref_check = new_check = None
+    ref_eng = new_eng = None
+    ops = 0
+    for _ in range(rounds):
+        ref_dt, ops, ref_check, ref_eng = _run_once(
+            lambda: ReferenceBDD(NUM_VARS), prepare, fn, seed, n
+        )
+        new_dt, _, new_check, new_eng = _run_once(
+            lambda: BDD(NUM_VARS), prepare, fn, seed, n
+        )
+        ref_times.append(ref_dt)
+        new_times.append(new_dt)
+        ratios.append(ref_dt / new_dt if new_dt else float("inf"))
+    if ref_check != new_check:
+        raise AssertionError(
+            f"{name}: engines disagree (checksum {ref_check} vs {new_check})"
+        )
+    # Engine-health readout through the telemetry registry: wrap the
+    # last new-engine run in a PredicateEngine (whose collector mirrors
+    # the raw tallies into bdd.* gauges) and materialise the typed view.
+    registry = MetricsRegistry()
+    PredicateEngine(NUM_VARS, registry, bdd=new_eng)
+    view = BddEngineStats.from_registry(registry)
+    return {
+        "ops": ops,
+        "rounds": rounds,
+        "n": n,
+        "ref_seconds_median": statistics.median(ref_times),
+        "new_seconds_median": statistics.median(new_times),
+        "ref_ops_per_sec": ops / statistics.median(ref_times),
+        "new_ops_per_sec": ops / statistics.median(new_times),
+        "speedup": statistics.median(ratios),
+        "ref_expansions": ref_eng.stats.apply_calls,
+        "new_expansions": new_eng.stats.apply_calls,
+        "ite_calls": view.ite_calls,
+        "cache_hit_rate": round(view.cache_hit_rate, 4),
+        "cache_size": view.cache_size,
+        "node_table_used": view.unique_used,
+        "node_table_capacity": view.unique_capacity,
+        "node_table_occupancy": round(view.table_occupancy, 4),
+        "live_nodes": view.live_nodes,
+        "gc_runs": view.gc_runs,
+    }
+
+
+def run_suite(quick: bool, seed: int) -> Dict[str, object]:
+    rounds = 5
+    report: Dict[str, object] = {
+        "num_vars": NUM_VARS,
+        "seed": seed,
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "workloads": {},
+    }
+    for name, (_, _, full_n, quick_n) in WORKLOADS.items():
+        n = quick_n if quick else full_n
+        row = bench_workload(name, n, seed, rounds)
+        report["workloads"][name] = row
+        print(
+            f"{name:<16} n={row['n']:<6} ref={row['ref_seconds_median']*1e3:8.1f}ms "
+            f"new={row['new_seconds_median']*1e3:8.1f}ms "
+            f"speedup={row['speedup']:5.2f}x "
+            f"occupancy={row['node_table_occupancy']:.2f} "
+            f"cache_hit={row['cache_hit_rate']:.2f}"
+        )
+    return report
+
+
+def check_against_baseline(
+    report: Dict[str, object], baseline_path: str
+) -> List[str]:
+    """Failures comparing ``report`` against its mode's committed section.
+
+    The speedup ratio (reference seconds / new seconds, both measured in
+    the same process on the same machine) is what is gated, so the check
+    transfers across machines of different absolute speed.  The 2.0x
+    acceptance floor applies only to full-size runs: the headline
+    advantage grows with predicate size, and quick/CI sizes sit below it
+    by design.
+    """
+    failures: List[str] = []
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        return [f"baseline file not found: {baseline_path}"]
+    mode = report["mode"]
+    base_section = baseline.get("modes", {}).get(mode)
+    if base_section is None:
+        return [f"baseline has no {mode!r} section: {baseline_path}"]
+    base_workloads = base_section.get("workloads", {})
+    for name, row in report["workloads"].items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        current = row["speedup"]
+        floor = base["speedup"] * (1.0 - TOLERANCE)
+        if current < floor:
+            failures.append(
+                f"{name}: speedup {current:.2f}x regressed >20% below "
+                f"baseline {base['speedup']:.2f}x (floor {floor:.2f}x)"
+            )
+    headline = report["workloads"].get("prefix_heavy")
+    if mode == "full" and headline and headline["speedup"] < PREFIX_HEAVY_FLOOR:
+        failures.append(
+            f"prefix_heavy: speedup {headline['speedup']:.2f}x is below the "
+            f"{PREFIX_HEAVY_FLOOR:.1f}x acceptance floor"
+        )
+    return failures
+
+
+def merge_into_baseline(report: Dict[str, object], path: str) -> None:
+    """Write ``report`` under its mode key, preserving the other mode."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except (FileNotFoundError, ValueError):
+        payload = {}
+    payload.setdefault("schema", "bench_bdd/1")
+    payload.setdefault("modes", {})[report["mode"]] = report
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="merge the JSON report into this baseline file (default: "
+        "BENCH_bdd.json at the repo root when not in --check mode)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline and exit 1 on >20% "
+        "speedup regression (plus a 2x prefix_heavy floor on full runs)",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick, args.seed)
+
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_BASELINE
+    if output:
+        merge_into_baseline(report, output)
+        print(f"wrote {output}")
+
+    if args.check:
+        failures = check_against_baseline(report, args.baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,14 +1,17 @@
 """Binary decision diagram substrate (the paper's JDD equivalent)."""
 
-from .engine import BDD, FALSE, TRUE, BddStats
+from .engine import BDD, DEFAULT_CACHE_LIMIT, FALSE, TRUE, BddStats
 from .predicate import OpCounter, Predicate, PredicateEngine
+from .reference import ReferenceBDD
 
 __all__ = [
     "BDD",
+    "DEFAULT_CACHE_LIMIT",
     "FALSE",
     "TRUE",
     "BddStats",
     "OpCounter",
     "Predicate",
     "PredicateEngine",
+    "ReferenceBDD",
 ]

@@ -25,8 +25,9 @@ registry-backed shim but emits :class:`DeprecationWarning`.
 from __future__ import annotations
 
 import warnings
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..telemetry import MetricsRegistry, OpMetrics, OpSnapshot
 from .engine import BDD, FALSE, TRUE
@@ -157,13 +158,19 @@ class Predicate:
 
     Two predicates from the same engine are equal iff their BDD node ids are
     equal (ROBDD canonicity), so ``==`` and ``hash`` are O(1).
+
+    Every live handle is a garbage-collection root: the owning engine
+    tracks handles through weak references, so
+    :meth:`PredicateEngine.collect` preserves exactly the predicates the
+    caller can still name (plus explicit pins).
     """
 
-    __slots__ = ("engine", "node")
+    __slots__ = ("engine", "node", "__weakref__")
 
     def __init__(self, engine: "PredicateEngine", node: int) -> None:
         self.engine = engine
         self.node = node
+        engine._handles[node] = self
 
     # -- algebra -------------------------------------------------------
     def __and__(self, other: "Predicate") -> "Predicate":
@@ -244,12 +251,31 @@ class PredicateEngine:
         Telemetry registry the op counters land in.  Pass a shared
         registry (e.g. a ``Flash`` system's) to aggregate across engines;
         a private one is created when omitted.
+    bdd:
+        Pre-built node store to wrap instead of a fresh :class:`BDD`.
+        Used by the micro-benchmark and equivalence tests to drive the
+        same predicate workload through
+        :class:`~repro.bdd.reference.ReferenceBDD`.
+    gc_threshold:
+        When set, counted operations trigger :meth:`collect` whenever
+        the live node count exceeds this value.  Only enable it for
+        workloads that follow the pinning protocol (hold handles or
+        pins, never bare node ids, across counted operations).
     """
 
     def __init__(
-        self, num_vars: int, registry: Optional[MetricsRegistry] = None
+        self,
+        num_vars: int,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        bdd=None,
+        gc_threshold: Optional[int] = None,
     ) -> None:
-        self.bdd = BDD(num_vars)
+        if bdd is not None and bdd.num_vars != num_vars:
+            raise ValueError(
+                f"injected BDD has {bdd.num_vars} vars, expected {num_vars}"
+            )
+        self.bdd = bdd if bdd is not None else BDD(num_vars)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.metrics = OpMetrics(self.registry)
         # Direct counter handles for the hot paths below.
@@ -257,13 +283,36 @@ class PredicateEngine:
         self._c_disj = self.metrics._disj
         self._c_neg = self.metrics._neg
         self.registry.add_collector(self._publish_bdd_stats)
+        # Live handles double as GC roots, interned per node id: one
+        # weakly-referenced handle per node, so equal predicates share a
+        # handle and a node stays rooted exactly while *some* handle for
+        # it is alive.  (A WeakSet would dedupe by equality and silently
+        # drop the tracking entry with the first of two equal handles.)
+        self._handles: "weakref.WeakValueDictionary[int, Predicate]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._gc_threshold = gc_threshold
+        if hasattr(self.bdd, "add_root_provider"):
+            self.bdd.add_root_provider(self._live_roots)
         self._false = Predicate(self, FALSE)
         self._true = Predicate(self, TRUE)
 
+    def _live_roots(self) -> List[int]:
+        return list(self._handles.keys())
+
     def _publish_bdd_stats(self, registry: MetricsRegistry) -> None:
         """Collector: mirror hot-path BDD tallies into ``bdd.*`` gauges."""
-        self.bdd.stats.publish(registry)
-        registry.gauge("bdd.nodes").set(self.bdd.num_nodes)
+        bdd = self.bdd
+        bdd.stats.publish(registry)
+        registry.gauge("bdd.nodes").set(
+            getattr(bdd, "live_node_count", bdd.num_nodes)
+        )
+        registry.gauge("bdd.nodes.allocated").set(bdd.num_nodes)
+        if hasattr(bdd, "cache_size"):
+            registry.gauge("bdd.cache.size").set(bdd.cache_size)
+            registry.gauge("bdd.cache.limit").set(bdd.cache_limit)
+            registry.gauge("bdd.unique.size").set(bdd.unique_used)
+            registry.gauge("bdd.unique.capacity").set(bdd.unique_capacity)
 
     # -- deprecated accessor -------------------------------------------
     @property
@@ -290,6 +339,9 @@ class PredicateEngine:
             return self._false
         if node == TRUE:
             return self._true
+        got = self._handles.get(node)
+        if got is not None:
+            return got
         return Predicate(self, node)
 
     def variable(self, i: int) -> Predicate:
@@ -303,31 +355,49 @@ class PredicateEngine:
         self._c_conj.value += 1
         return self.pred(self.bdd.cube(literals))
 
+    def ite(self, f: Predicate, g: Predicate, h: Predicate) -> Predicate:
+        """If-then-else; counted as one conjunction and one disjunction."""
+        self._check(f, g)
+        self._check(g, h)
+        self._c_conj.value += 1
+        self._c_disj.value += 1
+        return self.pred(self.bdd.ite(f.node, g.node, h.node))
+
     # -- counted operations --------------------------------------------
     def conj(self, a: Predicate, b: Predicate) -> Predicate:
         self._check(a, b)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
         self._c_conj.value += 1
         return self.pred(self.bdd.apply_and(a.node, b.node))
 
     def disj(self, a: Predicate, b: Predicate) -> Predicate:
         self._check(a, b)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
         self._c_disj.value += 1
         return self.pred(self.bdd.apply_or(a.node, b.node))
 
     def neg(self, a: Predicate) -> Predicate:
         self._check(a, a)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
         self._c_neg.value += 1
         return self.pred(self.bdd.negate(a.node))
 
     def diff(self, a: Predicate, b: Predicate) -> Predicate:
         """a ∧ ¬b, counted as one conjunction and one negation."""
         self._check(a, b)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
         self._c_conj.value += 1
         self._c_neg.value += 1
         return self.pred(self.bdd.apply_diff(a.node, b.node))
 
     def xor(self, a: Predicate, b: Predicate) -> Predicate:
         self._check(a, b)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
         self._c_conj.value += 1
         return self.pred(self.bdd.apply_xor(a.node, b.node))
 
@@ -348,33 +418,80 @@ class PredicateEngine:
         """Rebuild a predicate from another engine inside this one.
 
         Both engines must use the same variable order (the layouts must
-        agree); node ids are remapped structurally, so the result is the
-        same boolean function and BDD equality across engines reduces to
+        agree); node ids are remapped structurally through this engine's
+        unique table, so already-known subgraphs dedupe instead of
+        allocating, the result is the same boolean function, and BDD
+        equality across engines reduces to
         ``self.import_predicate(a) == self.import_predicate(b)``.
+
+        Self-imports (same engine, or another engine sharing this node
+        store) return a handle to the existing node without walking it;
+        the traversal is iterative, so predicates deeper than the Python
+        recursion limit import fine.
         """
-        if pred.engine is self:
-            return pred
+        if pred.engine is self or pred.engine.bdd is self.bdd:
+            return self.pred(pred.node)
         if pred.engine.num_vars > self.num_vars:
             raise ValueError(
                 f"cannot import predicate over {pred.engine.num_vars} vars "
                 f"into an engine with {self.num_vars}"
             )
-        src = pred.engine.bdd
-        memo: Dict[int, int] = {}
+        # decompose() abstracts the node encoding (plain ids vs complement
+        # edges), so any source/destination engine pairing works; the memo
+        # keys are source references, the values destination references.
+        decompose = pred.engine.bdd.decompose
+        mk = self.bdd._mk  # noqa: SLF001
+        memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        stack = [pred.node]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            var, lo, hi = decompose(node)
+            lo_mapped = memo.get(lo)
+            hi_mapped = memo.get(hi)
+            if lo_mapped is not None and hi_mapped is not None:
+                memo[node] = mk(var, lo_mapped, hi_mapped)
+                stack.pop()
+            else:
+                if hi_mapped is None:
+                    stack.append(hi)
+                if lo_mapped is None:
+                    stack.append(lo)
+        return self.pred(memo[pred.node])
 
-        def go(node: int) -> int:
-            if node <= 1:
-                return node
-            got = memo.get(node)
-            if got is not None:
-                return got
-            result = self.bdd._mk(  # noqa: SLF001
-                src.var(node), go(src.low(node)), go(src.high(node))
-            )
-            memo[node] = result
-            return result
+    # -- garbage collection ---------------------------------------------
+    def collect(self, extra_roots: Iterable[int] = ()) -> int:
+        """Mark-and-sweep the node store; returns the node count freed.
 
-        return self.pred(go(pred.node))
+        Roots are every live :class:`Predicate` handle (tracked weakly),
+        every pinned node and ``extra_roots``.  Safe whenever no
+        operation is mid-flight.  No-op (returns 0) when the underlying
+        store has no collector (e.g. the reference engine).
+        """
+        bdd_collect = getattr(self.bdd, "collect", None)
+        if bdd_collect is None:
+            return 0
+        return bdd_collect(extra_roots)
+
+    def pin(self, pred: Predicate) -> Predicate:
+        """Pin a predicate's nodes across collections (nests; see unpin)."""
+        self._check(pred, pred)
+        self.bdd.pin(pred.node)
+        return pred
+
+    def unpin(self, pred: Predicate) -> None:
+        self._check(pred, pred)
+        self.bdd.unpin(pred.node)
+
+    def _maybe_collect(self) -> None:
+        threshold = self._gc_threshold
+        if (
+            threshold is not None
+            and getattr(self.bdd, "live_node_count", 0) > threshold
+        ):
+            self.collect()
 
     # -- bookkeeping -----------------------------------------------------
     def _check(self, a: Predicate, b: Predicate) -> None:
@@ -383,7 +500,7 @@ class PredicateEngine:
 
     @property
     def live_nodes(self) -> int:
-        return self.bdd.num_nodes
+        return getattr(self.bdd, "live_node_count", self.bdd.num_nodes)
 
     def memory_estimate_bytes(self) -> int:
         """Rough memory footprint: ~40 bytes per BDD node (3 ints + tables)."""

@@ -195,6 +195,18 @@ class DifferentialRunner:
 
         self._diff_verdicts(scenario, requirements, runs, result)
 
+        # Sweep the shared comparison engine once the diffing is done:
+        # every view/verdict predicate is still held by a handle, so
+        # whatever goes is genuinely intermediate garbage — and every
+        # difftest scenario doubles as a GC correctness stress (a node
+        # freed too eagerly would corrupt the comparisons of the next
+        # scenario replayed on a shared runner).
+        result.stats["comparison_nodes_freed"] = comparison.collect()
+        self.telemetry.count(
+            "difftest.comparison.nodes_freed",
+            result.stats["comparison_nodes_freed"],
+        )
+
     # ------------------------------------------------------------------
     def _run_flash(
         self,
