@@ -880,14 +880,23 @@ class BDD:
                     h ^= 1
                 # Substitutions can collapse a sub-triple into the
                 # conjunction family; hand those to the packed loop.
+                # _and may allocate and rehash, replacing table.slots/
+                # table.mask — refresh the probe aliases afterwards or
+                # later combine frames insert into an orphaned table.
                 if h == FALSE:  # f ∧ g
                     out_append(self._and(f, g) ^ flag)
+                    slots = table.slots
+                    mask = table.mask
                     continue
                 if h == TRUE:  # ¬f ∨ g = ¬(f ∧ ¬g)
                     out_append(self._and(f, g ^ 1) ^ 1 ^ flag)
+                    slots = table.slots
+                    mask = table.mask
                     continue
                 if g == FALSE:  # ¬f ∧ h
                     out_append(self._and(f ^ 1, h) ^ flag)
+                    slots = table.slots
+                    mask = table.mask
                     continue
                 if h == g ^ 1 and f > g:  # XNOR commutes
                     f, g, h = g, f, f ^ 1

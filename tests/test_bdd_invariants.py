@@ -111,6 +111,40 @@ class TestCanonicity:
         assert_canonical(eng)
         eng.unpin(keep)
 
+    @pytest.mark.parametrize("seed", [2, 6, 13, 48])
+    def test_rehash_inside_ite3_general_stays_canonical(self, seed):
+        """Mid-operation unique-table rehashes must not break canonicity.
+
+        A tiny initial table plus periodic collections (which shrink the
+        table back down) force rehashes *inside* ``_ite3_general``'s
+        nested ``_and`` collapses; with stale ``slots``/``mask`` aliases
+        the later combine frames probed the orphaned table and created
+        duplicate ``(var, low, high)`` nodes.  Seeds are pinned to
+        ``random.Random`` directly (not :func:`case_rng`) because these
+        exact streams reproduced the historical stale-alias bug.
+        """
+        rng = random.Random(seed)
+        eng = BDD(16, table_capacity=8)
+        pool = [eng.literal(i, bool(rng.getrandbits(1))) for i in range(16)]
+        for step in range(150):
+            a = rng.choice(pool)
+            b = rng.choice(pool)
+            c = rng.choice(pool)
+            kind = rng.randrange(3)
+            if kind == 0:
+                pool.append(eng.apply_xor(a, b))
+            elif kind == 1:
+                pool.append(eng.ite(a, b, c))
+            else:
+                pool.append(eng.apply_or(a, b))
+            if step % 25 == 24:
+                for p in pool:
+                    eng.pin(p)
+                eng.collect()
+                for p in pool:
+                    eng.unpin(p)
+        assert_canonical(eng)
+
     def test_rebuilding_existing_function_allocates_nothing(self):
         eng = BDD(8)
         rng = case_rng(300)
