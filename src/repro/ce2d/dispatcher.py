@@ -108,6 +108,9 @@ class CE2DDispatcher:
                 if span is not None:
                     self.telemetry.end(span)
                 self.telemetry.count("ce2d.epoch.closed")
+        self.telemetry.registry.gauge("ce2d.verifiers.live").set(
+            len(self.verifiers)
+        )
 
     def _drain(self, now: Optional[float]) -> List[Report]:
         """Feed update prefixes of active epochs to their verifiers."""
@@ -122,6 +125,9 @@ class CE2DDispatcher:
                 self.verifiers[tag] = verifier
                 self._fed[tag] = set()
                 self.telemetry.count("ce2d.epoch.opened")
+                self.telemetry.registry.gauge("ce2d.verifiers.live").set(
+                    len(self.verifiers)
+                )
                 span = self.telemetry.begin("ce2d.epoch", epoch=str(tag))
                 if span is not None:
                     self._epoch_spans[tag] = span

@@ -56,6 +56,8 @@ class SubspaceVerifier:
         use_dgq: bool = True,
         manager: Optional[ModelManager] = None,
         telemetry: Optional[Telemetry] = None,
+        validation: str = "strict",
+        recovery: bool = False,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -69,6 +71,8 @@ class SubspaceVerifier:
                 block_threshold=block_threshold,
                 subspace_match=subspace_match,
                 telemetry=telemetry,
+                validation=validation,
+                recovery=recovery,
             )
         self.manager = manager
         self.telemetry = (

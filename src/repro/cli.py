@@ -181,49 +181,90 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _fuzz_runners(args, telemetry) -> List:
+    """The (label, runner, save) triples one fuzz invocation cycles through."""
+    from .difftest import ChaosRunner, DifferentialRunner
+    from .difftest.corpus import save_chaos_case, save_scenario
+    from .resilience import FAULT_PROFILES
+
+    if not args.chaos:
+        runner = DifferentialRunner(telemetry=telemetry)
+        return [("diff", runner, save_scenario)]
+    if args.fault_profile == "all":
+        names = sorted(FAULT_PROFILES)
+    else:
+        names = [args.fault_profile]
+    runners = []
+    for name in names:
+        runner = ChaosRunner(profile=name, seed=args.seed, telemetry=telemetry)
+
+        def save(shrunk, directory, runner=runner):
+            return save_chaos_case(runner.case_for(shrunk), directory)
+
+        runners.append((f"chaos:{name}", runner, save))
+    return runners
+
+
 def cmd_fuzz(args) -> int:
-    """Differential fuzzing: cross-check every engine on random scenarios."""
-    from .difftest import DifferentialRunner, ScenarioGenerator, Shrinker
-    from .difftest.corpus import save_scenario
+    """Differential fuzzing: cross-check every engine on random scenarios.
+
+    With ``--chaos``, scenarios are corrupted by a seeded
+    :class:`~repro.resilience.FaultInjector` and replayed through
+    supervised (``repair``/``quarantine``) ingestion instead; the
+    asserted property is convergence to the oracle's verdicts on the
+    clean stream (the self-healing property).
+    """
+    from .difftest import ScenarioGenerator, Shrinker
 
     telemetry = Telemetry.from_config(TelemetryConfig())
     generator = ScenarioGenerator(seed=args.seed, profile=args.profile)
-    runner = DifferentialRunner(telemetry=telemetry)
+    runners = _fuzz_runners(args, telemetry)
+    mode = (
+        f"chaos (fault profile: {args.fault_profile})" if args.chaos else "diff"
+    )
     print(
-        f"fuzzing: profile={args.profile} seed={args.seed} "
+        f"fuzzing [{mode}]: profile={args.profile} seed={args.seed} "
         f"iterations={args.iterations}"
     )
     start = time.perf_counter()
     divergent = 0
+    replayed = 0
+    budget_hit = False
     for index, scenario in enumerate(generator.stream(args.iterations)):
-        if args.time_budget and time.perf_counter() - start > args.time_budget:
-            print(f"time budget ({args.time_budget:.0f}s) reached "
-                  f"after {index} scenarios")
-            break
-        result = runner.run(scenario)
-        if result.ok:
-            continue
-        divergent += 1
-        print(f"DIVERGENCE in {scenario.name} "
-              f"({len(result.divergences)} findings, kinds: "
-              f"{', '.join(result.kinds)})")
-        for item in result.divergences[:5]:
-            print(f"  {item!r}")
-        shrunk, shrunk_result = Shrinker(runner).shrink(scenario, result)
-        print(f"  shrunk to {len(shrunk.updates)} updates / "
-              f"{len(shrunk.requirements)} requirements")
-        if args.corpus:
-            path = save_scenario(shrunk, args.corpus)
-            print(f"  saved reproducer to {path}")
-        if divergent >= args.max_divergences:
-            print("stopping: --max-divergences reached")
+        for label, runner, save in runners:
+            if (
+                args.time_budget
+                and time.perf_counter() - start > args.time_budget
+            ):
+                print(f"time budget ({args.time_budget:.0f}s) reached "
+                      f"after {replayed} replays ({index} scenarios)")
+                budget_hit = True
+                break
+            result = runner.run(scenario)
+            replayed += 1
+            if result.ok:
+                continue
+            divergent += 1
+            print(f"DIVERGENCE [{label}] in {scenario.name} "
+                  f"({len(result.divergences)} findings, kinds: "
+                  f"{', '.join(result.kinds)})")
+            for item in result.divergences[:5]:
+                print(f"  {item!r}")
+            shrunk, shrunk_result = Shrinker(runner).shrink(scenario, result)
+            print(f"  shrunk to {len(shrunk.updates)} updates / "
+                  f"{len(shrunk.requirements)} requirements")
+            if args.corpus:
+                path = save(shrunk, args.corpus)
+                print(f"  saved reproducer to {path}")
+        if budget_hit or divergent >= args.max_divergences:
+            if divergent >= args.max_divergences:
+                print("stopping: --max-divergences reached")
             break
     elapsed = time.perf_counter() - start
-    scenarios = telemetry.registry.value("difftest.scenarios")
-    print(f"{scenarios:.0f} scenarios replayed in {elapsed:.1f}s: "
-          f"{divergent} divergent")
+    print(f"{replayed} replays in {elapsed:.1f}s: {divergent} divergent")
     if args.telemetry:
-        _export_telemetry(args.telemetry, telemetry, f"fuzz:{args.profile}")
+        label = f"fuzz:{'chaos:' if args.chaos else ''}{args.profile}"
+        _export_telemetry(args.telemetry, telemetry, label)
     return 1 if divergent else 0
 
 
@@ -307,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=1234)
     fuzz.add_argument("--iterations", type=int, default=50)
     fuzz.add_argument("--profile", default="smoke", choices=["smoke", "deep"])
+    fuzz.add_argument(
+        "--chaos", action="store_true",
+        help="inject faults and assert supervised ingestion still "
+        "converges to the oracle (the self-healing property)",
+    )
+    fuzz.add_argument(
+        "--fault-profile", default="mixed", dest="fault_profile",
+        help="chaos fault profile name, or 'all' to cycle every profile "
+        "(see repro.resilience.FAULT_PROFILES)",
+    )
     fuzz.add_argument(
         "--corpus", default=None, metavar="DIR",
         help="directory to save shrunken divergent scenarios into",

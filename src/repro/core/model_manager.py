@@ -8,14 +8,21 @@ overwrites and the updated equivalence classes.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 from ..bdd.predicate import Predicate, PredicateEngine
 from ..dataplane.fib import FibSnapshot
 from ..dataplane.rule import DROP, Action
 from ..dataplane.update import RuleUpdate, UpdateBlock
+from ..errors import ReproError
 from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import MatchCompiler
+from ..resilience.checkpoint import ModelCheckpoint
+from ..resilience.validator import (
+    EpochGate,
+    QuarantinePolicy,
+    UpdateValidator,
+)
 from ..telemetry import PhaseBreakdown, Telemetry
 from .actiontree import ActionTreeStore
 from .inverse_model import EcDelta, InverseModel
@@ -38,6 +45,20 @@ class ModelManager:
     aggregate:
         Disable to get the paper's "Flash (per-update mode)" used in the
         Figure 11 breakdown.
+    validation:
+        Supervised-ingestion policy (``repro.resilience``): ``strict``
+        (default) submits updates untouched and errors surface exactly as
+        before; ``quarantine`` sidelines invalid updates into the
+        manager's dead-letter log; ``repair`` canonicalises idempotent
+        duplicates away and quarantines only the unrepairable rest.
+    epoch_gate:
+        Optional :class:`~repro.resilience.EpochGate` for stale-epoch
+        detection under ``quarantine``/``repair``.
+    recovery:
+        Guard every flush with a checkpoint: if the incremental pipeline
+        raises (invariant violation, corrupt state), roll back to the
+        pre-block journal and fall back to a batch recompute of the
+        block's valid net effect (``resilience.fallback.*`` telemetry).
     """
 
     def __init__(
@@ -53,6 +74,9 @@ class ModelManager:
         aggregate: bool = True,
         use_trie: bool = False,
         telemetry: Optional[Telemetry] = None,
+        validation: Union[str, QuarantinePolicy] = QuarantinePolicy.STRICT,
+        epoch_gate: Optional[EpochGate] = None,
+        recovery: bool = False,
     ) -> None:
         self.layout = layout
         if engine is None:
@@ -74,12 +98,32 @@ class ModelManager:
         )
         self.block_threshold = block_threshold
         self._pending: List[RuleUpdate] = []
-        self.pipeline = Mr2Pipeline(
+        # Remember the construction knobs so rollback can rebuild the
+        # model cheaply from an installed-rule journal.
+        self._devices = list(devices)
+        self._default_action = default_action
+        self._aggregate = aggregate
+        self._use_trie = use_trie
+        self.pipeline = self._make_pipeline()
+        self.validation = QuarantinePolicy.of(validation)
+        self.recovery = recovery
+        self.validator: Optional[UpdateValidator] = None
+        if self.validation is not QuarantinePolicy.STRICT:
+            self.validator = UpdateValidator(
+                self.validation,
+                devices=self._devices,
+                epoch_gate=epoch_gate,
+                telemetry=self.telemetry,
+            )
+        self._last_checkpoint: Optional[ModelCheckpoint] = None
+
+    def _make_pipeline(self) -> Mr2Pipeline:
+        return Mr2Pipeline(
             self.snapshot,
             self.model,
             self.compiler,
-            aggregate_overwrites=aggregate,
-            use_trie=use_trie,
+            aggregate_overwrites=self._aggregate,
+            use_trie=self._use_trie,
             telemetry=self.telemetry,
         )
 
@@ -87,11 +131,17 @@ class ModelManager:
     def submit(self, updates: Iterable[RuleUpdate]) -> List[EcDelta]:
         """Buffer updates; flush every time the threshold is crossed.
 
-        Returns the EC deltas of the *last* flush triggered (empty list if
-        nothing flushed).
+        Under ``quarantine``/``repair`` each update passes through the
+        supervising validator first; only the surviving stream is
+        buffered.  Returns the EC deltas of the *last* flush triggered
+        (empty list if nothing flushed).
         """
         deltas: List[EcDelta] = []
         for u in updates:
+            if self.validator is not None:
+                u = self.validator.admit(u)
+                if u is None:
+                    continue
             self._pending.append(u)
             if (
                 self.block_threshold is not None
@@ -101,12 +151,113 @@ class ModelManager:
         return deltas
 
     def flush(self) -> List[EcDelta]:
-        """Process all buffered updates as one block."""
+        """Process all buffered updates as one block.
+
+        With ``recovery`` enabled, a pipeline failure mid-block triggers
+        rollback to the pre-block checkpoint plus a batch recompute of
+        the block's valid net effect instead of propagating.
+        """
         if not self._pending:
             return []
         block = UpdateBlock(self._pending)
         self._pending = []
+        if not self.recovery:
+            return self.pipeline.process_block(block)
+        checkpoint = self.checkpoint()
+        try:
+            return self.pipeline.process_block(block)
+        except ReproError as exc:
+            return self._fallback_recompute(checkpoint, block, exc)
+
+    # -- checkpoint / rollback (repro.resilience) --------------------------
+    def checkpoint(self) -> ModelCheckpoint:
+        """Capture the installed-rule journal (cheap: no BDD state)."""
+        self._last_checkpoint = ModelCheckpoint.capture(self.snapshot)
+        self.telemetry.count("resilience.checkpoint.captured")
+        return self._last_checkpoint
+
+    @property
+    def last_checkpoint(self) -> Optional[ModelCheckpoint]:
+        return self._last_checkpoint
+
+    def rollback(self, checkpoint: Optional[ModelCheckpoint] = None) -> None:
+        """Restore a checkpoint via batch recompute; pending is dropped.
+
+        Defaults to the most recent checkpoint; with none ever captured
+        the manager resets to the empty model.
+        """
+        if checkpoint is None:
+            checkpoint = self._last_checkpoint
+        self._pending = []
+        self._rebuild_from_checkpoint(checkpoint)
+        self.telemetry.count("resilience.rollback.count")
+
+    def _rebuild_from_checkpoint(
+        self, checkpoint: Optional[ModelCheckpoint]
+    ) -> List[EcDelta]:
+        """Fresh snapshot/model/pipeline, journal replayed as one block."""
+        self.snapshot = FibSnapshot(self._devices, self._default_action)
+        universe = self.model.universe
+        self.model = InverseModel(
+            self.engine,
+            self.store,
+            list(self._devices),
+            self._default_action,
+            universe,
+        )
+        self.pipeline = self._make_pipeline()
+        if self.validator is not None:
+            for device in self._devices:
+                self.validator.seed_installed(device, ())
+        if checkpoint is None:
+            return []
+        if self.validator is not None:
+            for device, rules in checkpoint.rules:
+                self.validator.seed_installed(device, rules)
+        block = UpdateBlock(checkpoint.insert_updates())
+        if block.is_empty():
+            return []
         return self.pipeline.process_block(block)
+
+    def _fallback_recompute(
+        self,
+        checkpoint: ModelCheckpoint,
+        block: UpdateBlock,
+        exc: ReproError,
+    ) -> List[EcDelta]:
+        """Graceful degradation: incremental failed, recompute in batch.
+
+        The pre-block journal plus the block's *valid* net effect is
+        rebuilt as one insert block; invalid updates inside the failing
+        block are repaired away so one poisoned update cannot wedge the
+        manager forever.
+        """
+        self.telemetry.count("resilience.fallback.count")
+        self.telemetry.count(f"resilience.fallback.{type(exc).__name__}")
+        self.telemetry.registry.gauge("resilience.fallback.active").set(1)
+        journal = checkpoint.journal()
+        repairer = UpdateValidator(QuarantinePolicy.REPAIR, telemetry=self.telemetry)
+        for device, rules in journal.items():
+            repairer.seed_installed(device, rules)
+        for update in block:
+            if repairer.admit(update) is None:
+                continue
+            rules = journal.setdefault(update.device, [])
+            if update.is_insert:
+                rules.append(update.rule)
+            else:
+                rules.remove(update.rule)
+        deltas = self._rebuild_from_checkpoint(
+            ModelCheckpoint.from_journal(journal)
+        )
+        self.telemetry.registry.gauge("resilience.fallback.active").set(0)
+        self.telemetry.count("resilience.fallback.recovered")
+        if not deltas:
+            deltas = [
+                EcDelta(pred, vec, pred.node)
+                for pred, vec in self.model.entries()
+            ]
+        return deltas
 
     @property
     def pending_count(self) -> int:
@@ -126,6 +277,11 @@ class ModelManager:
     def telemetry_snapshot(self) -> dict:
         """One dict capturing BDD ops, MR2 phases and span aggregates."""
         return self.telemetry.snapshot()
+
+    @property
+    def dead_letters(self):
+        """The supervising validator's dead-letter log (None under strict)."""
+        return self.validator.dead_letters if self.validator is not None else None
 
     def num_ecs(self) -> int:
         return len(self.model)

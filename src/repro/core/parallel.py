@@ -12,19 +12,31 @@ TelemetryConfig`), snapshots its registry, and ships the plain dict back;
 :func:`run_partitioned` merges the per-worker registries into one parent
 registry so a single snapshot accounts for the whole partitioned run.
 
+The pool is supervised (``repro.resilience``): workers run in an explicit
+spawn/forkserver context with ``maxtasksperchild`` so a leaky or crashed
+worker cannot wedge later tasks, every task is retried with backoff and an
+optional per-attempt watchdog, and a subspace whose pool attempts are
+exhausted is re-executed sequentially in the parent.  Failures come back
+as :class:`~repro.resilience.FailedSubspace` records on the result, never
+as a pool-wide exception.
+
 Updates, matches and layouts are plain picklable data; BDD predicates never
 cross process boundaries (each worker builds its own engine).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..dataplane.update import RuleUpdate
 from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import Match
+from ..resilience.supervisor import FailedSubspace, RetryPolicy, WorkerFaultSpec
 from ..telemetry import MetricsRegistry, Telemetry, TelemetryConfig
 from .model_manager import ModelManager
 from .subspace import SubspacePartition
@@ -55,10 +67,14 @@ class WorkerTask:
     subspace_match: Match
     updates: Tuple[RuleUpdate, ...]
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    fault: Optional[str] = None  # WorkerFaultSpec string, chaos drills only
+    attempt: int = 0
 
 
 def _run_one(task: WorkerTask) -> Tuple[SubspaceRunStats, dict]:
     """Verify one subspace; returns its stats plus a telemetry snapshot."""
+    if task.fault:
+        WorkerFaultSpec.parse(task.fault).trigger(task.attempt)
     telemetry = Telemetry.from_config(task.telemetry)
     manager = ModelManager(
         list(task.devices),
@@ -80,6 +96,58 @@ def _run_one(task: WorkerTask) -> Tuple[SubspaceRunStats, dict]:
     return stats, registry.snapshot()
 
 
+def _run_one_safe(task: WorkerTask):
+    """Exception-capturing wrapper: tracebacks travel as data, not raises."""
+    try:
+        return ("ok", _run_one(task))
+    except BaseException as exc:  # noqa: BLE001 - captured, not swallowed
+        return ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+@dataclass
+class PartitionedRunResult:
+    """The outcome of one partitioned run.
+
+    Iterates as the historical ``(stats, wall_seconds, registry)`` triple
+    so existing ``results, wall, registry = run_partitioned(...)`` call
+    sites keep working; :attr:`failures` carries the
+    :class:`~repro.resilience.FailedSubspace` supervision records.
+    """
+
+    stats: List[SubspaceRunStats]
+    wall_seconds: float
+    registry: MetricsRegistry
+    failures: List[FailedSubspace] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter((self.stats, self.wall_seconds, self.registry))
+
+    @property
+    def ok(self) -> bool:
+        return all(f.recovered for f in self.failures)
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedRunResult({len(self.stats)} subspaces, "
+            f"{len(self.failures)} failures, {self.wall_seconds:.3f}s)"
+        )
+
+
+def _mp_context(name: Optional[str]):
+    """An explicit spawn/forkserver context — never the bare fork default.
+
+    ``fork`` duplicates arbitrary parent state (locks, open BDD engines)
+    into workers; spawn/forkserver give each worker a clean interpreter,
+    which is what makes ``maxtasksperchild`` recycling trustworthy.
+    """
+    if name is not None:
+        return multiprocessing.get_context(name)
+    try:
+        return multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform without forkserver
+        return multiprocessing.get_context("spawn")
+
+
 def run_partitioned(
     devices: Sequence[int],
     layout: HeaderLayout,
@@ -87,17 +155,30 @@ def run_partitioned(
     updates: Sequence[RuleUpdate],
     processes: Optional[int] = None,
     telemetry: Optional[TelemetryConfig] = None,
-) -> Tuple[List[SubspaceRunStats], float, MetricsRegistry]:
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[Mapping[str, str]] = None,
+    mp_context: Optional[str] = None,
+    maxtasksperchild: Optional[int] = 8,
+) -> PartitionedRunResult:
     """Run every subspace verifier, optionally across worker processes.
 
-    Returns ``(per-subspace stats, wall-clock seconds, merged registry)``.
-    ``processes=None`` or ``0`` runs sequentially in-process (the
-    baseline); any other value fans subspaces out over a pool.  The
-    merged registry sums every worker's counters/gauges and adds a
-    ``parallel.workers`` gauge plus a ``span.parallel.run`` aggregate for
-    the whole fan-out.
+    Returns a :class:`PartitionedRunResult` — unpackable as the
+    historical ``(per-subspace stats, wall-clock seconds, merged
+    registry)`` triple.  ``processes=None`` or ``0`` runs sequentially
+    in-process (the baseline); any other value fans subspaces out over a
+    supervised pool.  The merged registry sums every worker's
+    counters/gauges and adds a ``parallel.workers`` gauge plus a
+    ``span.parallel.run`` aggregate for the whole fan-out.
+
+    ``retry`` bounds per-task pool retries/backoff and the per-attempt
+    watchdog; a subspace that exhausts its pool attempts (or times out)
+    is re-executed sequentially in the parent, and its history is
+    recorded as a :class:`~repro.resilience.FailedSubspace` instead of
+    aborting the run.  ``faults`` maps subspace names to
+    :class:`~repro.resilience.WorkerFaultSpec` strings (chaos drills).
     """
     config = telemetry if telemetry is not None else TelemetryConfig()
+    policy = retry if retry is not None else RetryPolicy()
     routed = partition.route_updates(updates)
     tasks = [
         WorkerTask(
@@ -107,22 +188,193 @@ def run_partitioned(
             subspace_match=s.match,
             updates=tuple(routed[s.index]),
             telemetry=config,
+            fault=(faults or {}).get(s.name),
         )
         for s in partition
     ]
     # The parent side always times the fan-out, even when worker-side
     # spans are disabled by the config.
     parent = Telemetry()
+    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]] = {}
+    failures: List[FailedSubspace] = []
     with parent.span("parallel.run", workers=processes or 0):
         if not processes:
-            outcomes = [_run_one(t) for t in tasks]
+            _run_sequential(tasks, policy, parent, outcomes, failures)
         else:
-            with multiprocessing.Pool(processes=processes) as pool:
-                outcomes = pool.map(_run_one, tasks)
+            _run_pool(
+                tasks,
+                processes,
+                policy,
+                parent,
+                outcomes,
+                failures,
+                mp_context,
+                maxtasksperchild,
+            )
     wall = parent.registry.value("span.parallel.run.seconds")
     results: List[SubspaceRunStats] = []
-    for stats, snapshot in outcomes:
+    for task in tasks:
+        outcome = outcomes.get(task.name)
+        if outcome is None:
+            continue
+        stats, snapshot = outcome
         results.append(stats)
         parent.registry.merge_snapshot(snapshot)
     parent.registry.gauge("parallel.workers").set(processes or 0)
-    return results, wall, parent.registry
+    if failures:
+        parent.registry.counter("resilience.subspace.failures").inc(
+            sum(1 for f in failures if not f.recovered)
+        )
+        parent.registry.counter("resilience.subspace.recovered").inc(
+            sum(1 for f in failures if f.recovered)
+        )
+    return PartitionedRunResult(results, wall, parent.registry, failures)
+
+
+def _attempt_sequential(
+    task: WorkerTask,
+    policy: RetryPolicy,
+    parent: Telemetry,
+    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]],
+    failures: List[FailedSubspace],
+    history: Optional[List[str]] = None,
+    base_attempt: int = 0,
+) -> bool:
+    """In-process attempts with bounded retry; records outcome/failure."""
+    history = history if history is not None else []
+    attempt = base_attempt
+    for round_ in range(policy.max_retries + 1):
+        if round_ > 0:
+            parent.count("resilience.subspace.retries")
+            time.sleep(policy.backoff_for(attempt))
+        outcome = _run_one_safe(dataclasses.replace(task, attempt=attempt))
+        attempt += 1
+        if outcome[0] == "ok":
+            outcomes[task.name] = outcome[1]
+            if history:
+                failures.append(
+                    FailedSubspace(
+                        subspace=task.name,
+                        attempts=attempt,
+                        error=history[-1],
+                        recovered=True,
+                        history=list(history),
+                    )
+                )
+            return True
+        history.append(outcome[1])
+    failures.append(
+        FailedSubspace(
+            subspace=task.name,
+            attempts=attempt,
+            error=history[-1],
+            traceback=outcome[2],
+            recovered=False,
+            history=list(history),
+        )
+    )
+    return False
+
+
+def _run_sequential(
+    tasks: Sequence[WorkerTask],
+    policy: RetryPolicy,
+    parent: Telemetry,
+    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]],
+    failures: List[FailedSubspace],
+) -> None:
+    for task in tasks:
+        _attempt_sequential(task, policy, parent, outcomes, failures)
+
+
+def _run_pool(
+    tasks: Sequence[WorkerTask],
+    processes: int,
+    policy: RetryPolicy,
+    parent: Telemetry,
+    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]],
+    failures: List[FailedSubspace],
+    mp_context: Optional[str],
+    maxtasksperchild: Optional[int],
+) -> None:
+    """Supervised fan-out: per-task capture, retry, watchdog, fallback.
+
+    A task whose worker raises is retried in the pool with backoff; a
+    task that times out (hung or hard-crashed worker) or exhausts its
+    pool retries falls back to one sequential re-execution in the
+    parent.  The pool context-manager terminates leftover workers, so a
+    hung task can never wedge the caller.
+    """
+    context = _mp_context(mp_context)
+    pending: Dict[str, List[str]] = {task.name: [] for task in tasks}
+    attempts: Dict[str, int] = {task.name: 0 for task in tasks}
+    timed_out: Dict[str, bool] = {}
+    by_name = {task.name: task for task in tasks}
+    with context.Pool(
+        processes=processes, maxtasksperchild=maxtasksperchild
+    ) as pool:
+        live = {
+            task.name: pool.apply_async(_run_one_safe, (task,))
+            for task in tasks
+        }
+        while live:
+            next_live = {}
+            for name, result in live.items():
+                task = by_name[name]
+                try:
+                    outcome = result.get(policy.task_timeout)
+                except multiprocessing.TimeoutError:
+                    attempts[name] += 1
+                    timed_out[name] = True
+                    pending[name].append(
+                        f"TimeoutError: no result within "
+                        f"{policy.task_timeout}s (hung or dead worker)"
+                    )
+                    continue  # watchdog fired: stop trusting the pool
+                except Exception as exc:  # noqa: BLE001 - broken pool plumbing
+                    attempts[name] += 1
+                    pending[name].append(f"{type(exc).__name__}: {exc}")
+                    continue
+                attempts[name] += 1
+                if outcome[0] == "ok":
+                    outcomes[name] = outcome[1]
+                    if pending[name]:
+                        failures.append(
+                            FailedSubspace(
+                                subspace=name,
+                                attempts=attempts[name],
+                                error=pending[name][-1],
+                                timed_out=timed_out.get(name, False),
+                                recovered=True,
+                                history=list(pending[name]),
+                            )
+                        )
+                    pending.pop(name)
+                    continue
+                pending[name].append(outcome[1])
+                if attempts[name] <= policy.max_retries:
+                    parent.count("resilience.subspace.retries")
+                    time.sleep(policy.backoff_for(attempts[name]))
+                    retry_task = dataclasses.replace(
+                        task, attempt=attempts[name]
+                    )
+                    next_live[name] = pool.apply_async(
+                        _run_one_safe, (retry_task,)
+                    )
+            live = next_live
+    # Sequential fallback for every subspace the pool could not finish.
+    for task in tasks:
+        if task.name in outcomes or task.name not in pending:
+            continue
+        parent.count("resilience.subspace.sequential_reruns")
+        recovered = _attempt_sequential(
+            task,
+            RetryPolicy(max_retries=0, backoff_seconds=policy.backoff_seconds),
+            parent,
+            outcomes,
+            failures,
+            history=pending[task.name],
+            base_attempt=attempts[task.name],
+        )
+        if recovered:
+            failures[-1].timed_out = timed_out.get(task.name, False)

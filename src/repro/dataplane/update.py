@@ -50,7 +50,8 @@ class RuleUpdate:
         return RuleUpdate(op, self.device, self.rule, self.epoch)
 
     def __repr__(self) -> str:
-        return f"RuleUpdate({self.op.value}, dev={self.device}, {self.rule!r})"
+        epoch = f", epoch={self.epoch!r}" if self.epoch is not None else ""
+        return f"RuleUpdate({self.op.value}, dev={self.device}, {self.rule!r}{epoch})"
 
 
 def insert(device: int, rule: Rule, epoch: Optional[EpochTag] = None) -> RuleUpdate:
@@ -117,7 +118,16 @@ class UpdateBlock:
         return result
 
     def __repr__(self) -> str:
-        return f"UpdateBlock({len(self)} updates on {len(self.per_device)} devices)"
+        epochs = {u.epoch for u in self if u.epoch is not None}
+        tag = ""
+        if epochs:
+            shown = ", ".join(sorted(map(repr, epochs))[:3])
+            more = f", +{len(epochs) - 3} more" if len(epochs) > 3 else ""
+            tag = f", epochs={{{shown}{more}}}"
+        return (
+            f"UpdateBlock({len(self)} updates on "
+            f"{len(self.per_device)} devices{tag})"
+        )
 
 
 def apply_updates(snapshot, updates: Iterable[RuleUpdate]) -> None:

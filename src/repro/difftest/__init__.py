@@ -19,13 +19,24 @@ Entry points: ``repro fuzz`` on the CLI, ``tests/test_corpus_replay.py``
 in the suite.  See ``docs/difftest.md``.
 """
 
-from .corpus import iter_corpus, load_scenario, save_scenario
+from .chaos import CHAOS_POLICIES, ChaosCase, ChaosRunner
+from .corpus import (
+    iter_chaos_corpus,
+    iter_corpus,
+    load_chaos_case,
+    load_scenario,
+    save_chaos_case,
+    save_scenario,
+)
 from .oracle import ReferenceOracle
 from .runner import DifferentialRunner, DiffResult, Divergence
 from .scenario import RequirementSpec, Scenario, ScenarioGenerator
 from .shrink import Shrinker
 
 __all__ = [
+    "CHAOS_POLICIES",
+    "ChaosCase",
+    "ChaosRunner",
     "DifferentialRunner",
     "DiffResult",
     "Divergence",
@@ -34,7 +45,10 @@ __all__ = [
     "Scenario",
     "ScenarioGenerator",
     "Shrinker",
+    "iter_chaos_corpus",
     "iter_corpus",
+    "load_chaos_case",
     "load_scenario",
+    "save_chaos_case",
     "save_scenario",
 ]

@@ -1,0 +1,284 @@
+"""Chaos-mode differential testing: fuzzing *through* fault injection.
+
+The plain differential runner asserts that every engine computes the
+same data plane from a clean update stream.  Chaos mode asserts the
+**self-healing property** of supervised ingestion
+(:mod:`repro.resilience`): feed a deliberately corrupted copy of the
+stream — duplicates, phantom deletes, reorderings, stale epoch tags,
+truncated-then-retried batches, per a named :class:`FaultProfile` —
+into a :class:`~repro.core.model_manager.ModelManager` running under the
+``repair`` and ``quarantine`` policies, and the resulting model must
+still converge to the brute-force :class:`ReferenceOracle`'s verdict on
+the *clean* stream.
+
+Every fault the injector emits is recoverable by validation (see the
+construction argument in :mod:`repro.resilience.faults`), so any
+divergence here is a genuine bug in the validator, the checkpoint
+machinery or the incremental pipeline — exactly the code paths a clean
+fuzzer never exercises.  Divergent cases shrink with the ordinary
+:class:`~repro.difftest.shrink.Shrinker` (fault injection is a pure
+function of the scenario) and persist as ``chaos_*.json`` corpus files.
+
+Entry point: ``repro fuzz --chaos``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..bdd.predicate import PredicateEngine
+from ..core.model_manager import ModelManager
+from ..errors import ReproError
+from ..headerspace.match import MatchCompiler
+from ..resilience import (
+    EpochGate,
+    FaultInjector,
+    FaultProfile,
+    fault_profile,
+    stale_epoch_tag,
+)
+from ..telemetry import Telemetry
+from .compare import view_from_inverse_model, view_from_oracle
+from .oracle import ReferenceOracle
+from .runner import DiffResult, Divergence, _EngineRun, _verdict, derive_verdicts, diff_views
+from .scenario import Scenario
+
+#: Policies a chaos run exercises by default.  ``strict`` is excluded by
+#: construction: the injected faults are *meant* to raise under strict.
+CHAOS_POLICIES: Tuple[str, ...] = ("repair", "quarantine")
+
+CHAOS_FORMAT_VERSION = 1
+
+
+@dataclass
+class ChaosCase:
+    """One chaos regression: a scenario plus its exact fault recipe.
+
+    Serialisable like a :class:`Scenario`, with enough extra state
+    (profile name, injector seed, policies) to replay the identical
+    faulty stream deterministically.
+    """
+
+    scenario: Scenario
+    profile: str
+    seed: int = 0
+    policies: Tuple[str, ...] = CHAOS_POLICIES
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"chaos_{self.profile}_{self.scenario.name}"
+        self.policies = tuple(self.policies)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "chaos",
+            "chaos_format": CHAOS_FORMAT_VERSION,
+            "name": self.name,
+            "profile": self.profile,
+            "seed": self.seed,
+            "policies": list(self.policies),
+            "scenario": self.scenario.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosCase":
+        if data.get("kind") != "chaos":
+            raise ReproError("not a chaos case (missing kind='chaos')")
+        if data.get("chaos_format") != CHAOS_FORMAT_VERSION:
+            raise ReproError(
+                f"unsupported chaos format {data.get('chaos_format')!r}"
+            )
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            profile=data["profile"],
+            seed=int(data.get("seed", 0)),
+            policies=tuple(data.get("policies", CHAOS_POLICIES)),
+            name=data.get("name", ""),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosCase({self.name!r}, profile={self.profile!r}, "
+            f"seed={self.seed}, policies={self.policies})"
+        )
+
+
+class ChaosRunner:
+    """Replay scenarios through fault injection + supervised ingestion.
+
+    ``run(scenario)`` is deterministic in ``(profile, seed, scenario)``
+    and exposes the same ``run() -> DiffResult`` interface as
+    :class:`~repro.difftest.runner.DifferentialRunner`, so the shrinker
+    and the corpus machinery work on chaos divergences unchanged.
+    """
+
+    def __init__(
+        self,
+        profile: Union[str, FaultProfile] = "mixed",
+        seed: int = 0,
+        policies: Sequence[str] = CHAOS_POLICIES,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.profile = (
+            profile if isinstance(profile, FaultProfile) else fault_profile(profile)
+        )
+        self.seed = seed
+        self.policies = tuple(policies)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    @classmethod
+    def for_case(
+        cls, case: ChaosCase, telemetry: Optional[Telemetry] = None
+    ) -> "ChaosRunner":
+        """The runner that reproduces a corpus case's exact faulty stream."""
+        return cls(
+            profile=case.profile,
+            seed=case.seed,
+            policies=case.policies,
+            telemetry=telemetry,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario) -> DiffResult:
+        result = DiffResult(scenario)
+        with self.telemetry.span("difftest.chaos.run", scenario=scenario.name):
+            self._run_inner(scenario, result)
+        self.telemetry.count("difftest.chaos.scenarios")
+        if result.divergences:
+            self.telemetry.count(
+                "difftest.chaos.divergences", len(result.divergences)
+            )
+        return result
+
+    def run_case(self, case: ChaosCase) -> DiffResult:
+        return ChaosRunner.for_case(case, telemetry=self.telemetry).run(
+            case.scenario
+        )
+
+    # ------------------------------------------------------------------
+    def injector_for(self, scenario: Scenario) -> FaultInjector:
+        """The (deterministic) injector this runner uses for a scenario."""
+        mix = zlib.crc32(scenario.name.encode("utf-8"))
+        return FaultInjector(self.profile, seed=(self.seed << 8) ^ mix)
+
+    def _run_inner(self, scenario: Scenario, result: DiffResult) -> None:
+        layout = scenario.build_layout()
+        topology = scenario.build_topology()
+        switches = sorted(topology.switches())
+        comparison = PredicateEngine(layout.total_bits)
+        compiler = MatchCompiler(comparison, layout)
+        requirements = scenario.build_requirements(topology, layout)
+
+        # Reference: the brute-force oracle on the *clean* stream.
+        oracle = ReferenceOracle(topology, layout)
+        oracle.process_updates(scenario.updates)
+        reference = _EngineRun("oracle")
+        reference.view = view_from_oracle("oracle", comparison, oracle)
+        reference.loop_verdict, reference.verdicts = derive_verdicts(
+            reference.view, topology, compiler, requirements
+        )
+
+        # One deterministic faulty stream, shared by every policy run.
+        injector = self.injector_for(scenario)
+        faulty = injector.inject(scenario.updates)
+        result.stats["profile"] = self.profile.name
+        result.stats["faults"] = injector.fault_counts()
+        result.stats["stream"] = {
+            "clean": len(scenario.updates),
+            "faulty": len(faulty),
+        }
+
+        for policy in self.policies:
+            name = f"flash-{policy}"
+            run = _EngineRun(name)
+            try:
+                manager = self._supervised_manager(scenario, switches, layout, policy)
+                manager.submit(faulty)
+                manager.flush()
+                run.view = view_from_inverse_model(
+                    name, comparison, manager.model, switches
+                )
+                run.loop_verdict, run.verdicts = derive_verdicts(
+                    run.view, topology, compiler, requirements
+                )
+                validator = manager.validator
+                result.stats[name] = {
+                    "admitted": validator.admitted,
+                    "repaired": validator.repaired,
+                    "quarantined": len(validator.dead_letters),
+                }
+            except Exception as exc:  # noqa: BLE001 - crash = divergence
+                run.error = f"{type(exc).__name__}: {exc}"
+                self.telemetry.count("difftest.chaos.engine_errors")
+                result.divergences.append(
+                    Divergence("error", (name, "oracle"), detail=run.error)
+                )
+                continue
+            diff_views(topology, layout, switches, run, reference, result)
+            self._diff_verdicts(requirements, run, reference, result)
+
+        result.stats["comparison_nodes_freed"] = comparison.collect()
+
+    # ------------------------------------------------------------------
+    def _supervised_manager(
+        self, scenario: Scenario, switches: List[int], layout, policy: str
+    ) -> ModelManager:
+        # The injector stamps stale copies with ``stale<epoch`` — declare
+        # it a known *predecessor* of the scenario epoch so the gate flags
+        # regressions without ever rejecting a genuinely-tagged update.
+        gate = EpochGate(
+            order=(stale_epoch_tag(scenario.epoch), scenario.epoch)
+        )
+        return ModelManager(
+            switches,
+            layout,
+            validation=policy,
+            epoch_gate=gate,
+            recovery=True,
+            telemetry=Telemetry(registry=self.telemetry.registry),
+        )
+
+    @staticmethod
+    def _diff_verdicts(
+        requirements, run: _EngineRun, reference: _EngineRun, result: DiffResult
+    ) -> None:
+        if run.loop_verdict is not reference.loop_verdict:
+            result.divergences.append(
+                Divergence(
+                    "loop-verdict",
+                    (run.name, reference.name),
+                    detail=f"{_verdict(run.loop_verdict)} vs "
+                    f"{_verdict(reference.loop_verdict)}",
+                )
+            )
+        for req in requirements:
+            expected = reference.verdicts.get(req.name)
+            got = run.verdicts.get(req.name)
+            if got is not expected:
+                result.divergences.append(
+                    Divergence(
+                        "verdict",
+                        (run.name, reference.name),
+                        subject=req.name,
+                        detail=f"{_verdict(got)} vs {_verdict(expected)}",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def case_for(self, scenario: Scenario) -> ChaosCase:
+        """Package a (typically shrunk) scenario as a corpus chaos case."""
+        return ChaosCase(
+            scenario=scenario,
+            profile=self.profile.name,
+            seed=self.seed,
+            policies=self.policies,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosRunner(profile={self.profile.name!r}, seed={self.seed}, "
+            f"policies={self.policies})"
+        )

@@ -5,39 +5,89 @@ under ``tests/corpus/``; a deterministic pytest entry point
 (``tests/test_corpus_replay.py``) replays every file on each run, so a
 fixed divergence can never silently regress.  Files are stable
 (``sort_keys`` + indent) to keep diffs reviewable.
+
+Two file kinds share the directory: plain scenarios (replayed through
+the :class:`~repro.difftest.runner.DifferentialRunner`) and chaos cases
+(``"kind": "chaos"`` payloads carrying a scenario *plus* its fault
+recipe, replayed through the
+:class:`~repro.difftest.chaos.ChaosRunner`).  ``iter_corpus`` /
+``iter_chaos_corpus`` each yield only their own kind.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator, Tuple, Union
+from typing import Any, Dict, Iterator, Tuple, Union
 
+from .chaos import ChaosCase
 from .scenario import Scenario
 
 PathLike = Union[str, Path]
 
 
+def _read_json(path: PathLike) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def is_chaos_payload(data: Dict[str, Any]) -> bool:
+    return data.get("kind") == "chaos"
+
+
+# -- plain scenarios --------------------------------------------------------
 def save_scenario(scenario: Scenario, directory: PathLike) -> Path:
     """Write ``<directory>/<scenario.name>.json``; returns the path."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{scenario.name}.json"
-    path.write_text(
-        json.dumps(scenario.as_dict(), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    _write_json(path, scenario.as_dict())
     return path
 
 
 def load_scenario(path: PathLike) -> Scenario:
-    return Scenario.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+    return Scenario.from_dict(_read_json(path))
 
 
 def iter_corpus(directory: PathLike) -> Iterator[Tuple[Path, Scenario]]:
-    """Yield ``(path, scenario)`` for every corpus file, in name order."""
+    """Yield ``(path, scenario)`` for every plain corpus file, in name order."""
     directory = Path(directory)
     if not directory.is_dir():
         return
     for path in sorted(directory.glob("*.json")):
-        yield path, load_scenario(path)
+        data = _read_json(path)
+        if is_chaos_payload(data):
+            continue
+        yield path, Scenario.from_dict(data)
+
+
+# -- chaos cases ------------------------------------------------------------
+def save_chaos_case(case: ChaosCase, directory: PathLike) -> Path:
+    """Write ``<directory>/<case.name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    _write_json(path, case.as_dict())
+    return path
+
+
+def load_chaos_case(path: PathLike) -> ChaosCase:
+    return ChaosCase.from_dict(_read_json(path))
+
+
+def iter_chaos_corpus(directory: PathLike) -> Iterator[Tuple[Path, ChaosCase]]:
+    """Yield ``(path, case)`` for every chaos corpus file, in name order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        data = _read_json(path)
+        if not is_chaos_payload(data):
+            continue
+        yield path, ChaosCase.from_dict(data)

@@ -106,6 +106,31 @@ class _EngineRun:
     error: Optional[str] = None
 
 
+def derive_verdicts(
+    view: ModelView, topology, compiler: MatchCompiler, requirements
+) -> Tuple[Verdict, Dict[str, Verdict]]:
+    """Loop + requirement verdicts for an engine with no checker of its own.
+
+    Shared by the differential runner (deltanet/apkeep/oracle rows) and
+    the chaos runner (supervised ModelManager rows): a requirement is
+    VIOLATED when any source fails to deliver part of its packet space.
+    """
+    loop_verdict = (
+        Verdict.VIOLATED
+        if not view.loop_predicate(topology).is_false
+        else Verdict.SATISFIED
+    )
+    verdicts: Dict[str, Verdict] = {}
+    for req in requirements:
+        space = compiler.compile(req.packet_space)
+        violated = any(
+            not (space - view.reach_predicate(topology, s)).is_false
+            for s in req.sources
+        )
+        verdicts[req.name] = Verdict.VIOLATED if violated else Verdict.SATISFIED
+    return loop_verdict, verdicts
+
+
 class DifferentialRunner:
     """Replays scenarios through all engines and diffs the results."""
 
@@ -172,20 +197,9 @@ class DifferentialRunner:
             run = runs[name]
             if run.view is None:
                 continue
-            run.loop_verdict = (
-                Verdict.VIOLATED
-                if not run.view.loop_predicate(topology).is_false
-                else Verdict.SATISFIED
+            run.loop_verdict, run.verdicts = derive_verdicts(
+                run.view, topology, compiler, requirements
             )
-            for req in requirements:
-                space = compiler.compile(req.packet_space)
-                violated = any(
-                    not (space - run.view.reach_predicate(topology, s)).is_false
-                    for s in req.sources
-                )
-                run.verdicts[req.name] = (
-                    Verdict.VIOLATED if violated else Verdict.SATISFIED
-                )
 
         for name in MODEL_ENGINES:
             run = runs[name]
@@ -255,59 +269,7 @@ class DifferentialRunner:
         reference: _EngineRun,
         result: DiffResult,
     ) -> None:
-        pair = (run.name, reference.name)
-        mine = run.view.behavior_map()
-        theirs = reference.view.behavior_map()
-        for device in switches:
-            device_name = topology.name_of(device)
-            actions = set(mine[device]) | set(theirs[device])
-            engine = run.view.engine
-            for action in sorted(actions, key=repr):
-                a = mine[device].get(action, engine.false)
-                b = theirs[device].get(action, engine.false)
-                if a == b:
-                    continue
-                witness = assignment_to_values(
-                    layout, (a ^ b).any_assignment()
-                )
-                result.divergences.append(
-                    Divergence(
-                        "behavior",
-                        pair,
-                        subject=device_name,
-                        detail=f"action {action!r} covers different header "
-                        f"spaces ({(a ^ b).sat_count()} headers differ)",
-                        witness=witness,
-                    )
-                )
-        for source in switches:
-            a = run.view.reach_predicate(topology, source)
-            b = reference.view.reach_predicate(topology, source)
-            if a != b:
-                result.divergences.append(
-                    Divergence(
-                        "reachability",
-                        pair,
-                        subject=topology.name_of(source),
-                        detail=f"delivered header spaces differ "
-                        f"({(a ^ b).sat_count()} headers)",
-                        witness=assignment_to_values(
-                            layout, (a ^ b).any_assignment()
-                        ),
-                    )
-                )
-        a = run.view.loop_predicate(topology)
-        b = reference.view.loop_predicate(topology)
-        if a != b:
-            result.divergences.append(
-                Divergence(
-                    "loop",
-                    pair,
-                    detail=f"looping header spaces differ "
-                    f"({(a ^ b).sat_count()} headers)",
-                    witness=assignment_to_values(layout, (a ^ b).any_assignment()),
-                )
-            )
+        diff_views(topology, layout, switches, run, reference, result)
 
     # ------------------------------------------------------------------
     def _diff_verdicts(
@@ -350,6 +312,74 @@ class DifferentialRunner:
                             detail=f"{_verdict(got)} vs {_verdict(expected)}",
                         )
                     )
+
+
+def diff_views(
+    topology,
+    layout,
+    switches: List[int],
+    run: _EngineRun,
+    reference: _EngineRun,
+    result: DiffResult,
+) -> None:
+    """Diff one engine's view against the reference, BDD-exactly.
+
+    Appends behavior / reachability / loop divergences to ``result``;
+    shared by :class:`DifferentialRunner` and the chaos runner.
+    """
+    pair = (run.name, reference.name)
+    mine = run.view.behavior_map()
+    theirs = reference.view.behavior_map()
+    for device in switches:
+        device_name = topology.name_of(device)
+        actions = set(mine[device]) | set(theirs[device])
+        engine = run.view.engine
+        for action in sorted(actions, key=repr):
+            a = mine[device].get(action, engine.false)
+            b = theirs[device].get(action, engine.false)
+            if a == b:
+                continue
+            witness = assignment_to_values(
+                layout, (a ^ b).any_assignment()
+            )
+            result.divergences.append(
+                Divergence(
+                    "behavior",
+                    pair,
+                    subject=device_name,
+                    detail=f"action {action!r} covers different header "
+                    f"spaces ({(a ^ b).sat_count()} headers differ)",
+                    witness=witness,
+                )
+            )
+    for source in switches:
+        a = run.view.reach_predicate(topology, source)
+        b = reference.view.reach_predicate(topology, source)
+        if a != b:
+            result.divergences.append(
+                Divergence(
+                    "reachability",
+                    pair,
+                    subject=topology.name_of(source),
+                    detail=f"delivered header spaces differ "
+                    f"({(a ^ b).sat_count()} headers)",
+                    witness=assignment_to_values(
+                        layout, (a ^ b).any_assignment()
+                    ),
+                )
+            )
+    a = run.view.loop_predicate(topology)
+    b = reference.view.loop_predicate(topology)
+    if a != b:
+        result.divergences.append(
+            Divergence(
+                "loop",
+                pair,
+                detail=f"looping header spaces differ "
+                f"({(a ^ b).sat_count()} headers)",
+                witness=assignment_to_values(layout, (a ^ b).any_assignment()),
+            )
+        )
 
 
 def _verdict(value: Optional[Verdict]) -> str:

@@ -23,6 +23,54 @@ class RuleNotFoundError(DataPlaneError):
     """A deletion referenced a rule that is not installed."""
 
 
+class InvalidUpdateError(DataPlaneError):
+    """A rule update failed supervised-ingestion validation.
+
+    Structured variant taxonomy for ``repro.resilience``: ``kind`` is a
+    stable machine-readable label (it names the dead-letter telemetry
+    counter ``resilience.quarantined.<kind>``), ``update`` carries the
+    offending :class:`~repro.dataplane.update.RuleUpdate` when known, and
+    ``repairable`` says whether ``repair`` mode may canonicalise the
+    update away as an idempotent no-op instead of quarantining it.
+    """
+
+    kind = "invalid"
+    repairable = False
+
+    def __init__(self, message: str, update: object = None) -> None:
+        super().__init__(message)
+        self.update = update
+
+
+class DuplicateInsertError(InvalidUpdateError):
+    """An insert of a rule that is already installed (idempotent no-op)."""
+
+    kind = "duplicate_insert"
+    repairable = True
+
+
+class UnknownRuleDeleteError(InvalidUpdateError, RuleNotFoundError):
+    """A delete of a rule that is not installed — duplicate delete or a
+    delete of a never-installed rule (idempotent no-op either way)."""
+
+    kind = "unknown_delete"
+    repairable = True
+
+
+class StaleEpochError(InvalidUpdateError):
+    """An update tagged with an epoch that regressed on its device."""
+
+    kind = "stale_epoch"
+    repairable = True
+
+
+class UnknownDeviceError(InvalidUpdateError):
+    """An update for a device this manager does not own."""
+
+    kind = "unknown_device"
+    repairable = False
+
+
 class ModelInvariantError(ReproError):
     """An inverse model violated one of the Definition-6 invariants."""
 

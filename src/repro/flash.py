@@ -48,6 +48,8 @@ class EpochGroupVerifier:
         epoch: Optional[EpochTag] = None,
         telemetry: Optional[Telemetry] = None,
         block_threshold: Optional[int] = None,
+        validation: str = "strict",
+        recovery: bool = False,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -68,6 +70,8 @@ class EpochGroupVerifier:
                     use_dgq=use_dgq,
                     block_threshold=block_threshold,
                     telemetry=telemetry,
+                    validation=validation,
+                    recovery=recovery,
                 )
             )
             self._subspaces.append(None)
@@ -90,6 +94,8 @@ class EpochGroupVerifier:
                     use_dgq=use_dgq,
                     block_threshold=block_threshold,
                     telemetry=telemetry,
+                    validation=validation,
+                    recovery=recovery,
                 )
                 self.members.append(verifier)
                 self._subspaces.append(subspace)
@@ -136,6 +142,8 @@ class Flash:
         max_live_verifiers: int = 8,
         block_threshold: Optional[int] = None,
         telemetry: Optional[Union[Telemetry, TelemetryConfig]] = None,
+        validation: str = "strict",
+        recovery: bool = False,
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -147,6 +155,10 @@ class Flash:
         # path); 1 = the paper's per-update mode, exposed here so the
         # differential tester can cross-check both facade paths.
         self.block_threshold = block_threshold
+        # Supervised-ingestion knobs threaded down to every subspace
+        # verifier's ModelManager (repro.resilience).
+        self.validation = validation
+        self.recovery = recovery
         if telemetry is None:
             telemetry = Telemetry()
         elif isinstance(telemetry, TelemetryConfig):
@@ -169,6 +181,8 @@ class Flash:
             epoch=epoch,
             telemetry=self.telemetry,
             block_threshold=self.block_threshold,
+            validation=self.validation,
+            recovery=self.recovery,
         )
 
     # -- online ingestion (Figure 1 steps 2-8) -----------------------------

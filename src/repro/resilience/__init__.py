@@ -1,0 +1,69 @@
+"""Resilience layer (``repro.resilience``): stay correct during turbulence.
+
+Flash's pitch is consistent verification *while* the network churns
+(§4.1's back-off guard against control-plane bugs exists for exactly
+that), so the pipeline has to survive the unhappy path too.  This
+subsystem provides the operational analogue of the logical
+self-checking in ``repro.difftest``:
+
+* :class:`FaultInjector` / :class:`FaultProfile` — seeded, composable
+  injection of realistic agent faults into any update stream;
+* :class:`UpdateValidator` / :class:`QuarantinePolicy` /
+  :class:`DeadLetterLog` — supervised ingestion with strict, quarantine
+  and repair policies (``resilience.quarantined.*`` /
+  ``resilience.repaired.*`` telemetry);
+* :class:`ModelCheckpoint` — cheap installed-rule-journal snapshots
+  behind :meth:`ModelManager.checkpoint` / ``rollback`` and the
+  incremental→batch fallback (``resilience.fallback.*``);
+* :class:`FailedSubspace` / :class:`RetryPolicy` /
+  :class:`WorkerFaultSpec` — per-task supervision records for the
+  hardened ``run_partitioned`` pool.
+
+The chaos difftest (``repro fuzz --chaos``) closes the loop: faulty
+streams through ``repair``/``quarantine`` ingestion must still converge
+to the brute-force oracle's verdicts.  See ``docs/resilience.md``.
+"""
+
+from .checkpoint import ModelCheckpoint
+from .faults import (
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FaultInjector,
+    FaultProfile,
+    InjectedFault,
+    fault_profile,
+    stale_epoch_tag,
+)
+from .supervisor import (
+    FailedSubspace,
+    InjectedWorkerFault,
+    RetryPolicy,
+    WorkerFaultSpec,
+)
+from .validator import (
+    DeadLetterLog,
+    EpochGate,
+    QuarantinePolicy,
+    QuarantinedUpdate,
+    UpdateValidator,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "DeadLetterLog",
+    "EpochGate",
+    "FailedSubspace",
+    "FaultInjector",
+    "FaultProfile",
+    "InjectedFault",
+    "InjectedWorkerFault",
+    "ModelCheckpoint",
+    "QuarantinePolicy",
+    "QuarantinedUpdate",
+    "RetryPolicy",
+    "UpdateValidator",
+    "WorkerFaultSpec",
+    "fault_profile",
+    "stale_epoch_tag",
+]

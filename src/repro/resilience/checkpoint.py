@@ -1,0 +1,66 @@
+"""Cheap model checkpoints: the installed-rule journal, not BDDs.
+
+A :class:`ModelCheckpoint` captures, per device, the tuple of installed
+rules of a :class:`~repro.dataplane.fib.FibSnapshot` — plain immutable
+Python objects, no predicate state.  Restoring one is a *batch
+recompute*: rebuild a fresh inverse model and replay the journal as one
+insert block, which is exactly the graceful-degradation path a
+corrupted incremental state falls back to
+(:meth:`repro.core.model_manager.ModelManager.rollback`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..dataplane.fib import FibSnapshot
+from ..dataplane.rule import Rule
+from ..dataplane.update import RuleUpdate, insert
+
+
+@dataclass(frozen=True)
+class ModelCheckpoint:
+    """Per-device installed rules at one point in time."""
+
+    rules: Tuple[Tuple[int, Tuple[Rule, ...]], ...]
+
+    @classmethod
+    def capture(cls, snapshot: FibSnapshot) -> "ModelCheckpoint":
+        return cls(
+            rules=tuple(
+                (device, tuple(table.rules(include_default=False)))
+                for device, table in snapshot.tables.items()
+            )
+        )
+
+    @classmethod
+    def from_journal(
+        cls, journal: Dict[int, List[Rule]]
+    ) -> "ModelCheckpoint":
+        return cls(
+            rules=tuple((d, tuple(rules)) for d, rules in journal.items())
+        )
+
+    # ------------------------------------------------------------------
+    def journal(self) -> Dict[int, List[Rule]]:
+        """A mutable per-device copy of the installed-rule lists."""
+        return {device: list(rules) for device, rules in self.rules}
+
+    def devices(self) -> List[int]:
+        return [device for device, _ in self.rules]
+
+    def rule_count(self) -> int:
+        return sum(len(rules) for _, rules in self.rules)
+
+    def insert_updates(self) -> Iterator[RuleUpdate]:
+        """The journal as one batch of inserts (replay order preserved)."""
+        for device, rules in self.rules:
+            for rule in rules:
+                yield insert(device, rule)
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelCheckpoint({len(self.rules)} devices, "
+            f"{self.rule_count()} rules)"
+        )

@@ -18,6 +18,7 @@ self-import (no walk, no allocation), unique-table dedup on re-import,
 and iterative traversal for predicates deeper than the recursion limit.
 """
 
+import json
 import sys
 from pathlib import Path
 
@@ -27,11 +28,17 @@ from repro.bdd.predicate import PredicateEngine
 from repro.bdd.reference import ReferenceBDD
 from repro.difftest import DifferentialRunner
 from repro.difftest.compare import view_from_oracle
-from repro.difftest.corpus import load_scenario
+from repro.difftest.corpus import is_chaos_payload, load_scenario
 from repro.difftest.oracle import ReferenceOracle
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
-CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+# Plain scenarios only — chaos cases wrap a scenario in a fault recipe
+# and are replayed by tests/test_corpus_replay.py instead.
+CORPUS = sorted(
+    path
+    for path in CORPUS_DIR.glob("*.json")
+    if not is_chaos_payload(json.loads(path.read_text(encoding="utf-8")))
+)
 
 
 def oracle_view(scenario, engine: PredicateEngine):

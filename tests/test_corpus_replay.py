@@ -1,25 +1,47 @@
 """Deterministic replay of the checked-in regression corpus.
 
-Every scenario under ``tests/corpus/`` — shrunken divergence reproducers
-and seeded edge cases — is replayed through the full differential runner
-on every test run.  A fixed divergence can therefore never silently come
-back, and each case must stay fast (< 1 s) so the corpus scales.
+Every file under ``tests/corpus/`` is replayed on each test run — plain
+scenarios through the full differential runner, chaos cases
+(``"kind": "chaos"`` payloads) through the fault-injecting
+:class:`~repro.difftest.chaos.ChaosRunner` — so a fixed divergence can
+never silently come back.  Each case must stay fast (< 1 s) so the
+corpus scales.
 """
 
+import json
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.difftest import DifferentialRunner
-from repro.difftest.corpus import iter_corpus, load_scenario, save_scenario
+from repro.difftest import ChaosRunner, DifferentialRunner
+from repro.difftest.corpus import (
+    is_chaos_payload,
+    iter_chaos_corpus,
+    iter_corpus,
+    load_chaos_case,
+    load_scenario,
+    save_chaos_case,
+    save_scenario,
+)
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
-CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _split_corpus():
+    plain, chaos = [], []
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        (chaos if is_chaos_payload(data) else plain).append(path)
+    return plain, chaos
+
+
+CORPUS, CHAOS_CORPUS = _split_corpus()
 
 
 def test_corpus_is_populated():
     assert len(CORPUS) >= 3, "expected at least 3 checked-in scenarios"
+    assert len(CHAOS_CORPUS) >= 2, "expected at least 2 chaos cases"
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
@@ -32,14 +54,42 @@ def test_corpus_scenario_replays_clean(path):
     assert elapsed < 1.0, f"{scenario.name} took {elapsed:.2f}s (budget 1s)"
 
 
+@pytest.mark.chaos
+@pytest.mark.parametrize("path", CHAOS_CORPUS, ids=lambda p: p.stem)
+def test_chaos_case_converges(path):
+    """The self-healing property, pinned: the recorded faulty stream
+    through supervised ingestion still matches the clean-stream oracle."""
+    case = load_chaos_case(path)
+    start = time.perf_counter()
+    result = ChaosRunner.for_case(case).run(case.scenario)
+    elapsed = time.perf_counter() - start
+    assert result.ok, (case.name, result.divergences)
+    # The recipe must actually inject something, or the case is inert.
+    assert sum(result.stats["faults"].values()) >= 1, case.name
+    assert elapsed < 1.0, f"{case.name} took {elapsed:.2f}s (budget 1s)"
+
+
 def test_corpus_files_are_canonical(tmp_path):
     """Checked-in files match their canonical serialised form exactly."""
+    seen = set()
     for path, scenario in iter_corpus(CORPUS_DIR):
         resaved = save_scenario(scenario, tmp_path)
         assert path.read_text() == resaved.read_text(), path.name
+        seen.add(path)
+    for path, case in iter_chaos_corpus(CORPUS_DIR):
+        resaved = save_chaos_case(case, tmp_path)
+        assert path.read_text() == resaved.read_text(), path.name
+        seen.add(path)
+    assert seen == set(CORPUS) | set(CHAOS_CORPUS)
 
 
 def test_save_round_trips(tmp_path):
     _, scenario = next(iter_corpus(CORPUS_DIR))
     saved = save_scenario(scenario, tmp_path)
     assert load_scenario(saved).as_dict() == scenario.as_dict()
+
+
+def test_chaos_save_round_trips(tmp_path):
+    _, case = next(iter_chaos_corpus(CORPUS_DIR))
+    saved = save_chaos_case(case, tmp_path)
+    assert load_chaos_case(saved).as_dict() == case.as_dict()

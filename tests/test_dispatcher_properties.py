@@ -153,3 +153,85 @@ class TestDispatcherEndToEnd:
         assert flash.dispatcher.verifier_for("e0") is None
         assert flash.dispatcher.verifier_for("e1") is None
         assert flash.dispatcher.verifier_for("e2") is not None
+
+
+class _StubVerifier:
+    """Factory-call accounting double with the dispatcher's duck type."""
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.batches = []
+
+    def receive(self, device, updates, now=None):
+        self.batches.append((device, list(updates)))
+        return []
+
+
+class TestEpochStormBackoff:
+    """§4.1's guard: a buggy control plane minting epochs faster than they
+    converge must not translate into unbounded verifier creation."""
+
+    EPOCHS = 40
+    CAP = 4
+
+    def drive_storm(self, dispatcher, devices, epochs=EPOCHS):
+        """One leader device races through epochs; the rest lag behind.
+
+        Storm batches are empty diffs — the storm is about epoch-tag
+        churn, not FIB content.
+        """
+        high_water = 0
+        for e in range(epochs):
+            tag = f"storm-{e}"
+            dispatcher.receive(devices[0], tag, [])
+            high_water = max(high_water, len(dispatcher.verifiers))
+        return high_water
+
+    def test_verifier_creation_stays_bounded(self):
+        from repro.ce2d.dispatcher import CE2DDispatcher
+
+        created = []
+
+        def factory(tag):
+            verifier = _StubVerifier(tag)
+            created.append(tag)
+            return verifier
+
+        dispatcher = CE2DDispatcher(factory, max_live_verifiers=self.CAP)
+        devices = [0, 1, 2]
+        high_water = self.drive_storm(dispatcher, devices)
+        # Back-off: live verifiers never exceed the cap, even though the
+        # storm minted 10x more epochs than capacity.
+        assert high_water <= self.CAP
+        assert len(dispatcher.verifiers) <= self.CAP
+        assert len(created) <= self.EPOCHS
+        live = dispatcher.telemetry.registry.value("ce2d.verifiers.live")
+        assert live == len(dispatcher.verifiers) <= self.CAP
+
+    def test_stale_storm_verifiers_dropped_on_convergence(self):
+        from repro.ce2d.dispatcher import CE2DDispatcher
+
+        created = []
+
+        def factory(tag):
+            created.append(tag)
+            return _StubVerifier(tag)
+
+        dispatcher = CE2DDispatcher(factory, max_live_verifiers=self.CAP)
+        devices = [0, 1, 2]
+        self.drive_storm(dispatcher, devices)
+        # The stragglers catch up directly to the storm's final epoch:
+        # every earlier storm epoch is provably stale and must be dropped.
+        final = f"storm-{self.EPOCHS - 1}"
+        for device in devices[1:]:
+            dispatcher.receive(device, final, [])
+        assert list(dispatcher.verifiers) == [final]
+        reg = dispatcher.telemetry.registry
+        assert reg.value("ce2d.verifiers.live") == 1
+        opened = reg.value("ce2d.epoch.opened")
+        closed = reg.value("ce2d.epoch.closed")
+        assert opened == len(created)
+        assert closed == len(created) - 1
+        # The surviving verifier saw every device's (empty) batch.
+        survivor = dispatcher.verifiers[final]
+        assert {d for d, _ in survivor.batches} == set(devices)

@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.core.parallel import run_partitioned
+from repro.core.parallel import PartitionedRunResult, run_partitioned
 from repro.core.subspace import SubspacePartition
 from repro.dataplane.rule import Rule
 from repro.dataplane.update import insert
 from repro.headerspace.fields import dst_only_layout
 from repro.headerspace.match import Match
 from repro.network.generators import ring
+from repro.resilience import RetryPolicy
 
 LAYOUT = dst_only_layout(6)
 
@@ -81,3 +82,109 @@ class TestParallelPool:
         for name in seq_counters:
             if name.startswith("predicate.ops."):
                 assert par_counters.get(name) == seq_counters[name]
+
+
+class TestSupervision:
+    """Hardened-pool behaviour: per-task failure capture and recovery."""
+
+    def test_result_object_unpacks_as_legacy_triple(self):
+        topo, partition, updates = setup_workload()
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=None
+        )
+        assert isinstance(result, PartitionedRunResult)
+        stats, wall, registry = result
+        assert stats is result.stats
+        assert wall == result.wall_seconds
+        assert registry is result.registry
+        assert result.ok and result.failures == []
+
+    def test_worker_raise_does_not_lose_other_subspaces(self):
+        """Regression: one worker raising mid-task used to abort the whole
+        pool; now every other subspace's result survives and the failing
+        one recovers via retry."""
+        topo, partition, updates = setup_workload()
+        clean = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=None
+        )
+        result = run_partitioned(
+            topo.switches(),
+            LAYOUT,
+            partition,
+            updates,
+            processes=2,
+            retry=RetryPolicy(max_retries=1, backoff_seconds=0.01),
+            faults={"sub0": "raise"},  # raise on attempt 0, succeed after
+        )
+        assert result.ok
+        assert {s.subspace for s in result.stats} == {"sub0", "sub1"}
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.subspace == "sub0" and failure.recovered
+        assert "InjectedWorkerFault" in failure.error
+        by_name = {s.subspace: s for s in result.stats}
+        clean_by_name = {s.subspace: s for s in clean.stats}
+        for name in by_name:
+            assert by_name[name].ecs == clean_by_name[name].ecs
+            assert by_name[name].updates == clean_by_name[name].updates
+        assert result.registry.value("resilience.subspace.recovered") == 1
+        assert result.registry.value("resilience.subspace.failures") == 0
+
+    def test_exhausted_pool_retries_fall_back_to_sequential(self):
+        topo, partition, updates = setup_workload()
+        result = run_partitioned(
+            topo.switches(),
+            LAYOUT,
+            partition,
+            updates,
+            processes=2,
+            # The fault outlives the single pool attempt (max_retries=0)
+            # but not the sequential re-execution's higher attempt index.
+            retry=RetryPolicy(max_retries=0, backoff_seconds=0.01),
+            faults={"sub1": "raise"},
+        )
+        assert result.ok
+        assert {s.subspace for s in result.stats} == {"sub0", "sub1"}
+        reg = result.registry
+        assert reg.value("resilience.subspace.sequential_reruns") == 1
+        assert result.failures[0].recovered
+
+    def test_unrecoverable_fault_is_reported_not_raised(self):
+        topo, partition, updates = setup_workload()
+        result = run_partitioned(
+            topo.switches(),
+            LAYOUT,
+            partition,
+            updates,
+            processes=None,
+            retry=RetryPolicy(max_retries=1, backoff_seconds=0.0),
+            faults={"sub0": "raise@99"},  # never stops failing
+        )
+        assert not result.ok
+        assert {s.subspace for s in result.stats} == {"sub1"}
+        failure = result.failures[0]
+        assert failure.subspace == "sub0" and not failure.recovered
+        assert failure.attempts == 2 and len(failure.history) == 2
+        assert "InjectedWorkerFault" in failure.traceback
+
+    @pytest.mark.slow
+    def test_hard_worker_death_caught_by_watchdog(self):
+        """A worker dying via os._exit never reports back; the per-task
+        watchdog reaps it and the subspace recovers sequentially."""
+        topo, partition, updates = setup_workload()
+        result = run_partitioned(
+            topo.switches(),
+            LAYOUT,
+            partition,
+            updates,
+            processes=2,
+            retry=RetryPolicy(
+                max_retries=0, backoff_seconds=0.01, task_timeout=15.0
+            ),
+            faults={"sub0": "exit"},
+        )
+        assert result.ok
+        assert {s.subspace for s in result.stats} == {"sub0", "sub1"}
+        failure = result.failures[0]
+        assert failure.subspace == "sub0"
+        assert failure.timed_out and failure.recovered

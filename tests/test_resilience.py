@@ -1,0 +1,416 @@
+"""Tests for the resilience layer (repro.resilience).
+
+Covers the fault injector (determinism + the per-key order invariant the
+self-healing argument rests on), supervised ingestion under all three
+quarantine policies, the epoch gate, checkpoint/rollback, the
+incremental-to-batch fallback, and the chaos difftest convergence
+property on a sample of seeded scenarios.
+"""
+
+import random
+
+import pytest
+
+from repro.core.model_manager import ModelManager
+from repro.dataplane.rule import DROP, Rule
+from repro.dataplane.update import RuleUpdate, UpdateOp, delete, insert
+from repro.errors import (
+    DuplicateInsertError,
+    InvalidUpdateError,
+    ReproError,
+    RuleNotFoundError,
+    StaleEpochError,
+    UnknownDeviceError,
+    UnknownRuleDeleteError,
+)
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.resilience import (
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    DeadLetterLog,
+    EpochGate,
+    FaultInjector,
+    FaultProfile,
+    ModelCheckpoint,
+    QuarantinePolicy,
+    UpdateValidator,
+    WorkerFaultSpec,
+    fault_profile,
+    stale_epoch_tag,
+)
+from repro.telemetry import Telemetry
+
+LAYOUT = dst_only_layout(4)
+DEVICES = [0, 1, 2]
+
+
+def rule(priority, value, length, action):
+    return Rule(priority, Match.dst_prefix(value, length, LAYOUT), action)
+
+
+def sample_stream(epoch="e1"):
+    r0 = rule(1, 0x0, 1, 1)
+    r1 = rule(1, 0x8, 1, 2)
+    r2 = rule(2, 0x4, 2, 2)
+    return [
+        insert(0, r0, epoch=epoch),
+        insert(1, r1, epoch=epoch),
+        insert(0, r2, epoch=epoch),
+        delete(0, r2, epoch=epoch),
+        insert(2, r0, epoch=epoch),
+    ]
+
+
+def random_stream(rng, epoch="e1", ops=30):
+    installed = {d: [] for d in DEVICES}
+    updates = []
+    for _ in range(ops):
+        device = rng.choice(DEVICES)
+        have = installed[device]
+        if have and rng.random() < 0.35:
+            victim = rng.choice(have)
+            have.remove(victim)
+            updates.append(delete(device, victim, epoch=epoch))
+        else:
+            r = rule(
+                rng.randint(0, 3),
+                rng.randrange(16),
+                rng.randint(0, 4),
+                rng.choice([1, 2, DROP]),
+            )
+            if r in have:
+                continue
+            have.append(r)
+            updates.append(insert(device, r, epoch=epoch))
+    return updates
+
+
+def installed_rules(manager):
+    return {
+        device: set(table.rules(include_default=False))
+        for device, table in manager.snapshot.tables.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# fault profiles + injector
+# ---------------------------------------------------------------------------
+class TestFaultProfiles:
+    def test_named_profiles_cover_every_kind(self):
+        covered = set()
+        for profile in FAULT_PROFILES.values():
+            covered.update(k for k, v in profile.rates().items() if v > 0)
+        assert covered == set(FAULT_KINDS)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ReproError):
+            fault_profile("nope")
+
+    def test_combine_is_ratewise_max(self):
+        mixed = FAULT_PROFILES["duplicates"] | FAULT_PROFILES["reorder"]
+        assert mixed.duplicate_insert == 0.25
+        assert mixed.reorder == 0.35
+        assert mixed.phantom_delete == 0.0
+
+    def test_scaled_clamps(self):
+        doubled = FAULT_PROFILES["reorder"].scaled(10)
+        assert doubled.reorder == 1.0
+
+
+class TestFaultInjector:
+    def test_deterministic(self):
+        stream = sample_stream()
+        a = FaultInjector(FAULT_PROFILES["mixed"], seed=9)
+        b = FaultInjector(FAULT_PROFILES["mixed"], seed=9)
+        assert a.inject(stream) == b.inject(stream)
+        assert a.fault_counts() == b.fault_counts()
+
+    def test_different_seed_differs(self):
+        stream = random_stream(random.Random(0))
+        outs = {
+            tuple(FaultInjector(FAULT_PROFILES["mixed"], seed=s).inject(stream))
+            for s in range(6)
+        }
+        assert len(outs) > 1
+
+    def test_injects_something_at_high_rates(self):
+        profile = FAULT_PROFILES["mixed"].scaled(4, name="hot")
+        injector = FaultInjector(profile, seed=1)
+        out = injector.inject(random_stream(random.Random(1)))
+        counts = injector.fault_counts()
+        assert sum(counts.values()) > 0
+        assert len(out) > 0
+
+    @pytest.mark.parametrize("profile", sorted(FAULT_PROFILES))
+    def test_per_key_order_preserved(self, profile):
+        """The invariant the self-healing argument rests on: for every
+        (device, rule) key, the subsequence of *clean-stream* operations
+        survives in order inside the faulty stream."""
+        rng = random.Random(sum(map(ord, profile)))
+        clean = random_stream(rng, ops=40)
+        injector = FaultInjector(FAULT_PROFILES[profile], seed=5)
+        faulty = injector.inject(clean)
+
+        def net_effect(updates):
+            state = {}
+            for u in updates:
+                key = (u.device, u.rule)
+                if u.is_insert:
+                    state[key] = True
+                else:
+                    state.pop(key, None)
+            return state
+
+        # Applying the faulty stream *without* validation but ignoring
+        # phantom keys must land on the clean final state: duplicates and
+        # stale copies are idempotent re-applications, reorders commute.
+        clean_state = net_effect(clean)
+        clean_keys = {(u.device, u.rule) for u in clean}
+        faulty_state = {
+            k: v
+            for k, v in net_effect(faulty).items()
+            if k in clean_keys
+        }
+        assert faulty_state == clean_state
+
+    def test_stale_copies_carry_stale_tag(self):
+        profile = FaultProfile("stale", stale_epoch=1.0)
+        injector = FaultInjector(profile, seed=2)
+        out = injector.inject(sample_stream(epoch="e7"))
+        stale = [u for u in out if u.epoch == stale_epoch_tag("e7")]
+        assert stale
+        assert all(f.kind == "stale_epoch" for f in injector.injected)
+
+
+# ---------------------------------------------------------------------------
+# supervised ingestion
+# ---------------------------------------------------------------------------
+class TestUpdateValidator:
+    def test_strict_raises_structured_errors(self):
+        v = UpdateValidator("strict", devices=DEVICES)
+        r = rule(1, 0, 1, 1)
+        v.admit(insert(0, r))
+        with pytest.raises(DuplicateInsertError):
+            v.admit(insert(0, r))
+        with pytest.raises(UnknownRuleDeleteError):
+            v.admit(delete(1, r))
+        with pytest.raises(UnknownDeviceError):
+            v.admit(insert(99, r))
+
+    def test_unknown_delete_is_still_rule_not_found(self):
+        """Back-compat: callers catching RuleNotFoundError keep working."""
+        v = UpdateValidator("strict")
+        with pytest.raises(RuleNotFoundError):
+            v.admit(delete(0, rule(1, 0, 1, 1)))
+        assert issubclass(UnknownRuleDeleteError, InvalidUpdateError)
+
+    def test_repair_drops_idempotent_duplicates(self):
+        telemetry = Telemetry()
+        v = UpdateValidator("repair", devices=DEVICES, telemetry=telemetry)
+        r = rule(1, 0, 1, 1)
+        survivors = v.admit_all(
+            [insert(0, r), insert(0, r), delete(0, r), delete(0, r)]
+        )
+        assert survivors == [insert(0, r), delete(0, r)]
+        assert v.repaired == 2
+        assert telemetry.registry.value("resilience.repaired.total") == 2
+        assert len(v.dead_letters) == 0
+
+    def test_repair_quarantines_unrepairable(self):
+        v = UpdateValidator("repair", devices=DEVICES)
+        assert v.admit(insert(99, rule(1, 0, 1, 1))) is None
+        assert len(v.dead_letters) == 1
+        assert v.dead_letters.entries[0].kind == "unknown_device"
+
+    def test_quarantine_dead_letters_everything_invalid(self):
+        telemetry = Telemetry()
+        v = UpdateValidator("quarantine", devices=DEVICES, telemetry=telemetry)
+        r = rule(1, 0, 1, 1)
+        v.admit_all([insert(0, r), insert(0, r), delete(1, r)])
+        assert v.admitted == 1
+        assert len(v.dead_letters) == 2
+        assert v.dead_letters.counts == {
+            "duplicate_insert": 1,
+            "unknown_delete": 1,
+        }
+        reg = telemetry.registry
+        assert reg.value("resilience.quarantined.total") == 2
+        assert reg.value("resilience.quarantined.duplicate_insert") == 1
+        assert reg.value("resilience.dead_letter.size") == 2
+
+    def test_dead_letter_log_is_bounded(self):
+        log = DeadLetterLog(max_entries=3)
+        v = UpdateValidator("quarantine", dead_letters=log)
+        for i in range(5):
+            v.admit(delete(0, rule(1, i % 16, 4, 1)))
+        assert len(log) == 3
+        assert log.dropped == 2
+
+    def test_policy_of(self):
+        assert QuarantinePolicy.of("repair") is QuarantinePolicy.REPAIR
+        assert (
+            QuarantinePolicy.of(QuarantinePolicy.STRICT)
+            is QuarantinePolicy.STRICT
+        )
+
+
+class TestEpochGate:
+    def test_explicit_order_flags_regression(self):
+        gate = EpochGate(order=["e0", "e1", "e2"])
+        v = UpdateValidator("quarantine", epoch_gate=gate)
+        r = rule(1, 0, 1, 1)
+        assert v.admit(insert(0, r, ).with_epoch("e1")) is not None
+        stale = delete(0, r).with_epoch("e0")
+        assert v.admit(stale) is None
+        assert v.dead_letters.entries[0].kind == "stale_epoch"
+
+    def test_explicit_order_unknown_tag_is_stale(self):
+        gate = EpochGate(order=["e0"])
+        assert gate.classify(insert(0, rule(1, 0, 1, 1)).with_epoch("bogus"))
+
+    def test_implicit_mode_flags_superseded_tags(self):
+        gate = EpochGate()
+        u = insert(0, rule(1, 0, 1, 1))
+        assert gate.classify(u.with_epoch("e0")) is None
+        assert gate.classify(u.with_epoch("e1")) is None
+        assert gate.classify(u.with_epoch("e0")) is not None
+
+    def test_untagged_updates_pass(self):
+        gate = EpochGate(order=["e0"])
+        assert gate.classify(insert(0, rule(1, 0, 1, 1))) is None
+
+    def test_strict_gate_raises_stale_epoch(self):
+        gate = EpochGate(order=["e0", "e1"])
+        v = UpdateValidator("strict", epoch_gate=gate)
+        v.admit(insert(0, rule(1, 0, 1, 1)).with_epoch("e1"))
+        with pytest.raises(StaleEpochError):
+            v.admit(insert(0, rule(1, 8, 1, 1)).with_epoch("e0"))
+
+
+# ---------------------------------------------------------------------------
+# supervised ModelManager: convergence, checkpoint, rollback, fallback
+# ---------------------------------------------------------------------------
+class TestSupervisedModelManager:
+    @pytest.mark.parametrize("policy", ["repair", "quarantine"])
+    def test_faulty_stream_converges(self, policy):
+        clean = random_stream(random.Random(3), ops=40)
+        injector = FaultInjector(FAULT_PROFILES["mixed"].scaled(2), seed=4)
+        faulty = injector.inject(clean)
+        assert injector.fault_counts()  # the drill actually injected
+
+        reference = ModelManager(DEVICES, LAYOUT)
+        reference.submit(clean)
+        reference.flush()
+
+        gate = EpochGate(order=[stale_epoch_tag("e1"), "e1"])
+        supervised = ModelManager(
+            DEVICES, LAYOUT, validation=policy, epoch_gate=gate, recovery=True
+        )
+        supervised.submit(faulty)
+        supervised.flush()
+
+        assert installed_rules(supervised) == installed_rules(reference)
+        assert supervised.num_ecs() == reference.num_ecs()
+
+    def test_strict_still_raises_from_flush(self):
+        manager = ModelManager(DEVICES, LAYOUT)
+        manager.submit([delete(0, rule(1, 0, 1, 1))])
+        with pytest.raises(RuleNotFoundError):
+            manager.flush()
+
+    def test_checkpoint_rollback_restores_state(self):
+        manager = ModelManager(DEVICES, LAYOUT, recovery=True)
+        r0, r1 = rule(1, 0, 1, 1), rule(1, 8, 1, 2)
+        manager.submit([insert(0, r0)])
+        manager.flush()
+        checkpoint = manager.checkpoint()
+        before_rules = installed_rules(manager)
+        before_ecs = manager.num_ecs()
+        manager.submit([insert(1, r1), delete(0, r0)])
+        manager.flush()
+        assert installed_rules(manager) != before_rules
+        manager.rollback(checkpoint)
+        assert installed_rules(manager) == before_rules
+        assert manager.num_ecs() == before_ecs
+        assert manager.telemetry.registry.value("resilience.rollback.count") == 1
+
+    def test_rollback_without_checkpoint_resets(self):
+        manager = ModelManager(DEVICES, LAYOUT)
+        manager.submit([insert(0, rule(1, 0, 1, 1))])
+        manager.flush()
+        manager.rollback()  # no checkpoint ever captured
+        assert all(not rules for rules in installed_rules(manager).values())
+
+    def test_fallback_recompute_on_poisoned_block(self):
+        """A strict manager with recovery: the pipeline raises mid-block,
+        the manager rolls back and batch-recomputes the valid net effect
+        instead of propagating or wedging."""
+        manager = ModelManager(DEVICES, LAYOUT, recovery=True)
+        r0, r1 = rule(1, 0, 1, 1), rule(1, 8, 1, 2)
+        manager.submit([insert(0, r0)])
+        manager.flush()
+        # Poison: deleting r1 (never installed) makes the pipeline raise.
+        manager.submit([insert(1, r1), delete(2, r1)])
+        deltas = manager.flush()
+        assert deltas  # recovery produced a usable model, not an exception
+        reg = manager.telemetry.registry
+        assert reg.value("resilience.fallback.count") == 1
+        assert reg.value("resilience.fallback.recovered") == 1
+        assert reg.value("resilience.fallback.active") == 0
+        expected = ModelManager(DEVICES, LAYOUT)
+        expected.submit([insert(0, r0), insert(1, r1)])
+        expected.flush()
+        assert installed_rules(manager) == installed_rules(expected)
+        assert manager.num_ecs() == expected.num_ecs()
+        # The manager is not wedged: clean updates keep applying.
+        manager.submit([delete(1, r1)])
+        manager.flush()
+        assert installed_rules(manager)[1] == set()
+
+    def test_checkpoint_capture_and_journal(self):
+        manager = ModelManager(DEVICES, LAYOUT)
+        r = rule(1, 0, 1, 1)
+        manager.submit([insert(0, r)])
+        manager.flush()
+        cp = ModelCheckpoint.capture(manager.snapshot)
+        assert cp.rule_count() == 1
+        assert cp.journal()[0] == [r]
+        assert list(cp.insert_updates()) == [insert(0, r)]
+
+
+# ---------------------------------------------------------------------------
+# worker fault specs
+# ---------------------------------------------------------------------------
+class TestWorkerFaultSpec:
+    def test_parse(self):
+        spec = WorkerFaultSpec.parse("raise@3")
+        assert spec.kind == "raise" and spec.attempts == 3
+        assert WorkerFaultSpec.parse("hang").attempts == 1
+        with pytest.raises(ValueError):
+            WorkerFaultSpec.parse("explode")
+
+    def test_trigger_window(self):
+        spec = WorkerFaultSpec.parse("raise@2")
+        with pytest.raises(RuntimeError):
+            spec.trigger(0)
+        with pytest.raises(RuntimeError):
+            spec.trigger(1)
+        spec.trigger(2)  # outside the window: no-op
+
+
+# ---------------------------------------------------------------------------
+# chaos difftest convergence (the self-healing property)
+# ---------------------------------------------------------------------------
+@pytest.mark.chaos
+@pytest.mark.parametrize("profile", sorted(FAULT_PROFILES))
+def test_chaos_convergence_sample(profile):
+    """A slice of the CI chaos gate: seeded scenarios through the fault
+    injector under repair+quarantine converge to the oracle's verdicts."""
+    from repro.difftest import ChaosRunner, ScenarioGenerator
+
+    generator = ScenarioGenerator(seed=2024, profile="smoke")
+    runner = ChaosRunner(profile=profile, seed=17)
+    for index in range(4):
+        result = runner.run(generator.scenario(index))
+        assert result.ok, (profile, index, result.divergences)
