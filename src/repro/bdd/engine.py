@@ -106,6 +106,9 @@ class BddStats:
         "quantify_calls",
         "restrict_calls",
         "ite_calls",
+        "split_calls",
+        "split_expansions",
+        "split_cache_hits",
         "cache_evictions",
         "gc_runs",
         "gc_freed",
@@ -121,6 +124,9 @@ class BddStats:
         self.quantify_calls = 0
         self.restrict_calls = 0
         self.ite_calls = 0
+        self.split_calls = 0
+        self.split_expansions = 0
+        self.split_cache_hits = 0
         self.cache_evictions = 0
         self.gc_runs = 0
         self.gc_freed = 0
@@ -143,6 +149,9 @@ class BddStats:
         registry.gauge(f"{prefix}.quantify.calls").set(self.quantify_calls)
         registry.gauge(f"{prefix}.restrict.calls").set(self.restrict_calls)
         registry.gauge(f"{prefix}.ite.calls").set(self.ite_calls)
+        registry.gauge(f"{prefix}.split.calls").set(self.split_calls)
+        registry.gauge(f"{prefix}.split.expansions").set(self.split_expansions)
+        registry.gauge(f"{prefix}.split.cache_hits").set(self.split_cache_hits)
         registry.gauge(f"{prefix}.cache.hits").set(self.apply_cache_hits)
         registry.gauge(f"{prefix}.cache.lookups").set(self.apply_calls)
         registry.gauge(f"{prefix}.cache.evictions").set(self.cache_evictions)
@@ -196,6 +205,9 @@ class BDD:
         self._unique = OpenAddressedNodeTable(table_capacity)
         self.cache_limit = cache_limit
         self._cache: Dict[Tuple[int, int, int], int] = {}
+        # Split cache: packed (a, b) pair -> packed (a∧b, a∧¬b) pair.
+        # Kept apart from the ITE cache because its values are pairs.
+        self._split_cache: Dict[int, int] = {}
         self._sat_cache: Dict[int, int] = {}
         # Pre-built single-variable functions, created lazily; permanent
         # GC roots (a handful of nodes at most).
@@ -619,6 +631,208 @@ class BDD:
             cache.clear()
             stats.cache_evictions += 1
         return out[0]
+
+    def apply_split(self, a: int, b: int) -> Tuple[int, int]:
+        """One traversal of ``a`` producing ``(a ∧ b, a ∧ ¬b)``.
+
+        The two cofactors of an overwrite application share their whole
+        subproblem tree — both partition the same ``a`` along ``b`` —
+        so computing them in a single walk with a single cache does the
+        work once that ``apply_and(a, b)`` + ``apply_diff(a, b)`` do
+        twice.  Frames pack exactly like :meth:`_and`'s (the pair is
+        *not* commuted: split is asymmetric in ``a``/``b``); result
+        values pack as ``and_edge << 25 | diff_edge`` in the dedicated
+        split cache.
+        """
+        stats = self.stats
+        stats.split_calls += 1
+        if a <= TRUE:
+            return (b, b ^ 1) if a else (FALSE, FALSE)
+        if b <= TRUE:
+            return (a, FALSE) if b else (FALSE, a)
+        if a == b:
+            return a, FALSE
+        if a ^ b == 1:
+            return FALSE, a
+        varr = self._var
+        low_ = self._low
+        high_ = self._high
+        cache = self._split_cache
+        cache_get = cache.get
+        table = self._unique
+        slots = table.slots
+        mask = table.mask
+        free = self._free
+        expansions = 0
+        hits = 0
+
+        out: List[int] = []
+        out_append = out.append
+        out_pop = out.pop
+        todo: List[int] = [a << _PACK_SHIFT | b]
+        todo_append = todo.append
+        todo_pop = todo.pop
+
+        while todo:
+            t = todo_pop()
+            if t >= 0:
+                a = t >> _PACK_SHIFT
+                b = t & _PACK_MASK
+                if a <= TRUE:
+                    out_append(b << _PACK_SHIFT | b ^ 1 if a else FALSE)
+                    continue
+                if b <= TRUE:
+                    out_append(a << _PACK_SHIFT if b else a)
+                    continue
+                if a == b:
+                    out_append(a << _PACK_SHIFT)
+                    continue
+                if a ^ b == 1:
+                    out_append(a)
+                    continue
+                r = cache_get(t)
+                if r is not None:
+                    hits += 1
+                    out_append(r)
+                    continue
+                expansions += 1
+                an = a >> 1
+                bn = b >> 1
+                va = varr[an]
+                vb = varr[bn]
+                if va <= vb:
+                    v = va
+                    if a & 1:
+                        a0 = low_[an] ^ 1
+                        a1 = high_[an] ^ 1
+                    else:
+                        a0 = low_[an]
+                        a1 = high_[an]
+                    if va == vb:
+                        if b & 1:
+                            b0 = low_[bn] ^ 1
+                            b1 = high_[bn] ^ 1
+                        else:
+                            b0 = low_[bn]
+                            b1 = high_[bn]
+                    else:
+                        b0 = b1 = b
+                else:
+                    v = vb
+                    if b & 1:
+                        b0 = low_[bn] ^ 1
+                        b1 = high_[bn] ^ 1
+                    else:
+                        b0 = low_[bn]
+                        b1 = high_[bn]
+                    a0 = a1 = a
+                todo_append(-((v << _COMBINE_SHIFT | t) + 1))
+                todo_append(a1 << _PACK_SHIFT | b1)
+                todo_append(a0 << _PACK_SHIFT | b0)
+            else:
+                u = -t - 1
+                v = u >> _COMBINE_SHIFT
+                hi = out_pop()
+                lo = out_pop()
+                and_lo = lo >> _PACK_SHIFT
+                and_hi = hi >> _PACK_SHIFT
+                diff_lo = lo & _PACK_MASK
+                diff_hi = hi & _PACK_MASK
+                if and_lo == and_hi:
+                    r_and = and_lo
+                else:
+                    neg = and_hi & 1
+                    if neg:
+                        and_lo ^= 1
+                        and_hi ^= 1
+                    slot = (
+                        v * _H_VAR ^ and_lo * _H_LOW ^ and_hi * _H_HIGH
+                    ) & mask
+                    node = slots[slot]
+                    while node:
+                        if (
+                            low_[node] == and_lo
+                            and high_[node] == and_hi
+                            and varr[node] == v
+                        ):
+                            break
+                        slot = (slot + 1) & mask
+                        node = slots[slot]
+                    if not node:
+                        if free:
+                            node = free.pop()
+                            varr[node] = v
+                            low_[node] = and_lo
+                            high_[node] = and_hi
+                        else:
+                            node = len(varr)
+                            if node >= _MAX_NODES:
+                                raise MemoryError(
+                                    "BDD node table exceeded 2^24 nodes"
+                                )
+                            varr.append(v)
+                            low_.append(and_lo)
+                            high_.append(and_hi)
+                        slots[slot] = node
+                        table.used += 1
+                        if table.used > table.limit:
+                            self._rehash((mask + 1) << 2)
+                            slots = table.slots
+                            mask = table.mask
+                    r_and = (node << 1) | neg
+                if diff_lo == diff_hi:
+                    r_diff = diff_lo
+                else:
+                    neg = diff_hi & 1
+                    if neg:
+                        diff_lo ^= 1
+                        diff_hi ^= 1
+                    slot = (
+                        v * _H_VAR ^ diff_lo * _H_LOW ^ diff_hi * _H_HIGH
+                    ) & mask
+                    node = slots[slot]
+                    while node:
+                        if (
+                            low_[node] == diff_lo
+                            and high_[node] == diff_hi
+                            and varr[node] == v
+                        ):
+                            break
+                        slot = (slot + 1) & mask
+                        node = slots[slot]
+                    if not node:
+                        if free:
+                            node = free.pop()
+                            varr[node] = v
+                            low_[node] = diff_lo
+                            high_[node] = diff_hi
+                        else:
+                            node = len(varr)
+                            if node >= _MAX_NODES:
+                                raise MemoryError(
+                                    "BDD node table exceeded 2^24 nodes"
+                                )
+                            varr.append(v)
+                            low_.append(diff_lo)
+                            high_.append(diff_hi)
+                        slots[slot] = node
+                        table.used += 1
+                        if table.used > table.limit:
+                            self._rehash((mask + 1) << 2)
+                            slots = table.slots
+                            mask = table.mask
+                    r_diff = (node << 1) | neg
+                r = r_and << _PACK_SHIFT | r_diff
+                cache[u & _PAIR_MASK] = r
+                out_append(r)
+
+        stats.split_expansions += expansions
+        stats.split_cache_hits += hits
+        if len(cache) > self.cache_limit:
+            cache.clear()
+            stats.cache_evictions += 1
+        r = out[0]
+        return r >> _PACK_SHIFT, r & _PACK_MASK
 
     def _ite3(self, f: int, g: int, h: int) -> int:
         """General three-operand loop of the ITE machine.
@@ -1385,6 +1599,7 @@ class BDD:
         # Every cache may reference dead ids; wipe them and re-slot the
         # survivors (shrinking the unique table back down if warranted).
         self._cache.clear()
+        self._split_cache.clear()
         self._sat_cache.clear()
         self._rehash(8)
 

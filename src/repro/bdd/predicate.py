@@ -165,11 +165,14 @@ class Predicate:
     caller can still name (plus explicit pins).
     """
 
-    __slots__ = ("engine", "node", "__weakref__")
+    __slots__ = ("engine", "node", "_sig", "__weakref__")
 
     def __init__(self, engine: "PredicateEngine", node: int) -> None:
         self.engine = engine
         self.node = node
+        # Lazily computed cofactor signature (PredicateEngine.signature);
+        # immutable once set, like the function this handle names.
+        self._sig: Optional[int] = None
         engine._handles[node] = self
 
     # -- algebra -------------------------------------------------------
@@ -187,6 +190,10 @@ class Predicate:
 
     def __xor__(self, other: "Predicate") -> "Predicate":
         return self.engine.xor(self, other)
+
+    def split(self, other: "Predicate") -> Tuple["Predicate", "Predicate"]:
+        """``(self & other, self - other)`` in one engine traversal."""
+        return self.engine.split(self, other)
 
     # -- queries -------------------------------------------------------
     @property
@@ -401,6 +408,28 @@ class PredicateEngine:
         self._c_conj.value += 1
         return self.pred(self.bdd.apply_xor(a.node, b.node))
 
+    def split(self, a: Predicate, b: Predicate) -> Tuple[Predicate, Predicate]:
+        """``(a ∧ b, a ∧ ¬b)`` sharing one traversal of ``a``.
+
+        Counted as one conjunction and one negation — the pair costs
+        one engine walk, versus two conjunctions and a negation for
+        ``(a & b, a - b)`` computed separately.  Falls back to the two
+        separate applies on injected node stores without the primitive.
+        """
+        self._check(a, b)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
+        self._c_conj.value += 1
+        self._c_neg.value += 1
+        bdd = self.bdd
+        apply_split = getattr(bdd, "apply_split", None)
+        if apply_split is not None:
+            inter, rest = apply_split(a.node, b.node)
+        else:
+            inter = bdd.apply_and(a.node, b.node)
+            rest = bdd.apply_diff(a.node, b.node)
+        return self.pred(inter), self.pred(rest)
+
     def disj_many(self, preds: Iterable[Predicate]) -> Predicate:
         result = self._false
         for p in preds:
@@ -461,6 +490,65 @@ class PredicateEngine:
                     stack.append(lo)
         return self.pred(memo[pred.node])
 
+    def export_bytes(self, preds: Iterable[Predicate]) -> bytes:
+        """Serialise predicates into one FBW1 blob (shared nodes once).
+
+        The blob is self-contained and engine-independent: any engine
+        with at least as many variables (and the same variable order)
+        can :meth:`import_bytes` it, in-process or across a process
+        boundary.  See :mod:`repro.bdd.wire` for the format.
+        """
+        from . import wire
+
+        refs: List[int] = []
+        for p in preds:
+            self._check(p, p)
+            refs.append(p.node)
+        return wire.export_blob(self.bdd, refs)
+
+    def import_bytes(self, data: bytes) -> List[Predicate]:
+        """Rebuild an FBW1 blob's predicates inside this engine.
+
+        One linear hash-consing pass; subgraphs this engine already
+        knows dedupe against the unique table instead of allocating.
+        """
+        from . import wire
+
+        return [self.pred(r) for r in wire.import_blob(self.bdd, data)]
+
+    def import_predicates(
+        self, preds: Iterable[Predicate]
+    ) -> List[Predicate]:
+        """Bulk :meth:`import_predicate`: one shared walk for the set.
+
+        When every input comes from one foreign node store the whole
+        set goes through the wire format — the union DAG is walked once
+        instead of once per predicate, which is the common shape for EC
+        tables (hundreds of handles over heavily shared structure).
+        Mixed-source or same-engine inputs fall back to the per-
+        predicate paths.
+        """
+        preds = list(preds)
+        if not preds:
+            return []
+        src = preds[0].engine
+        src_bdd = src.bdd
+        if all(p.engine.bdd is src_bdd for p in preds):
+            if src_bdd is self.bdd:
+                return [self.pred(p.node) for p in preds]
+            if src.num_vars > self.num_vars:
+                raise ValueError(
+                    f"cannot import predicates over {src.num_vars} vars "
+                    f"into an engine with {self.num_vars}"
+                )
+            from . import wire
+
+            refs = wire.import_blob(
+                self.bdd, wire.export_blob(src_bdd, [p.node for p in preds])
+            )
+            return [self.pred(r) for r in refs]
+        return [self.import_predicate(p) for p in preds]
+
     # -- garbage collection ---------------------------------------------
     def collect(self, extra_roots: Iterable[int] = ()) -> int:
         """Mark-and-sweep the node store; returns the node count freed.
@@ -505,3 +593,88 @@ class PredicateEngine:
     def memory_estimate_bytes(self) -> int:
         """Rough memory footprint: ~40 bytes per BDD node (3 ints + tables)."""
         return self.bdd.num_nodes * 40
+
+    #: Signature horizon: masks cover the first 8 variables (256 cells).
+    SIG_BITS = 8
+
+    def signature(self, pred: Predicate) -> int:
+        """Cofactor-occupancy bitmask over the first :data:`SIG_BITS` vars.
+
+        Bit ``i`` is set iff the cofactor of ``pred`` under the ``i``-th
+        assignment of variables ``0..SIG_BITS-1`` is satisfiable.  Two
+        predicates with non-intersecting signatures are provably
+        disjoint (``sig(a) & sig(b) == 0  ⇒  a ∧ b = ⊥``), so the mask
+        is an O(1) disjointness filter that avoids a full conjunction —
+        the workhorse of the EC-table fast apply path, where most
+        (EC, overwrite) pairs never overlap.  Signatures compose over
+        disjunction (``sig(a|b) == sig(a)|sig(b)``) and over-approximate
+        under conjunction (``sig(a&b) ⊆ sig(a)&sig(b)``), so callers can
+        maintain them incrementally without re-walking.
+
+        The result is memoized on the handle (a predicate is an
+        immutable function, so its signature never changes); the first
+        call walks at most ``O(nodes × SIG_BITS)`` edges via the
+        encoding-agnostic :meth:`decompose`, far less than one apply,
+        and works on both engines.
+        """
+        self._check(pred, pred)
+        cached = pred._sig
+        if cached is not None:
+            return cached
+        bits = self.SIG_BITS
+        if self.num_vars < bits:
+            bits = self.num_vars
+        decompose = self.bdd.decompose
+        memo: Dict[Tuple[int, int], int] = {}
+
+        def occupancy(u: int, level: int) -> int:
+            if u == FALSE:
+                return 0
+            width = 1 << (bits - level)
+            if level == bits or u == TRUE:
+                return (1 << width) - 1
+            key = (u, level)
+            r = memo.get(key)
+            if r is None:
+                var, lo, hi = decompose(u)
+                if var >= bits:
+                    # Entirely below the horizon and not ⊥: every cell
+                    # in this subtree is occupied.
+                    r = (1 << width) - 1
+                elif var > level:
+                    m = occupancy(u, level + 1)
+                    r = (m << (width >> 1)) | m
+                else:
+                    r = (occupancy(hi, level + 1) << (width >> 1)) | occupancy(
+                        lo, level + 1
+                    )
+                memo[key] = r
+            return r
+
+        sig = occupancy(pred.node, 0)
+        pred._sig = sig
+        return sig
+
+    def shared_node_count(self, preds: Iterable[Predicate]) -> int:
+        """Distinct non-terminal nodes reachable from the given predicates.
+
+        Counts the union DAG once — shared subgraphs are not double
+        counted, unlike summing per-predicate ``node_count()``.
+        """
+        bdd = self.bdd
+        comp = bool(getattr(bdd, "complement_edges", False))
+        decompose = bdd.decompose
+        seen = set()
+        stack: List[int] = []
+        for p in preds:
+            self._check(p, p)
+            stack.append(p.node & ~1 if comp else p.node)
+        while stack:
+            k = stack.pop()
+            if k <= TRUE or k in seen:
+                continue
+            seen.add(k)
+            _, lo, hi = decompose(k)
+            stack.append(lo & ~1 if comp else lo)
+            stack.append(hi & ~1 if comp else hi)
+        return len(seen)

@@ -138,6 +138,15 @@ class ReferenceBDD:
         """a AND NOT b."""
         return self._apply(_OP_DIFF, a, b)
 
+    def apply_split(self, a: int, b: int) -> Tuple[int, int]:
+        """``(a ∧ b, a ∧ ¬b)`` — API parity with the array engine.
+
+        The reference engine has no single-traversal fast path; it just
+        composes the two memoized applies (still counted as one split).
+        """
+        self.stats.split_calls += 1
+        return self._apply(_OP_AND, a, b), self._apply(_OP_DIFF, a, b)
+
     def negate(self, a: int) -> int:
         if a == FALSE:
             return TRUE

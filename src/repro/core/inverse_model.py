@@ -51,11 +51,16 @@ class InverseModel:
         devices: Sequence[int],
         default_action: Action = DROP,
         universe: Optional[Predicate] = None,
+        fast_apply: bool = True,
     ) -> None:
         self.engine = engine
         self.store = store
         self.devices = list(devices)
         self.universe = engine.true if universe is None else universe
+        #: Route block application through the support-pruned single-
+        #: traversal path; ``False`` selects the retained reference
+        #: cross product (used by the equivalence tests and benchmarks).
+        self.fast_apply = fast_apply
         initial_vector = store.uniform(self.devices, default_action)
         self._entries: Dict[VecId, Predicate] = {}
         if not self.universe.is_false:
@@ -87,12 +92,110 @@ class InverseModel:
         return self.store.to_dict(self.vector_for(assignment))
 
     # -- mutation --------------------------------------------------------------
-    def apply_overwrites(self, overwrites: Iterable[Overwrite]) -> List[EcDelta]:
+    def apply_overwrites(
+        self,
+        overwrites: Iterable[Overwrite],
+        support: Optional[Predicate] = None,
+    ) -> List[EcDelta]:
         """Apply a block of conflict-free overwrites (the cross product).
 
         Returns the full post-block EC list annotated with lineage.  ECs
         whose predicate becomes empty disappear; ECs mapping to the same
         vector merge by predicate disjunction.
+
+        The default path touches only what the block touches, at two
+        granularities (the Delta-net discipline):
+
+        * per EC — cofactor *signatures* (O(1) masks, see
+          :meth:`~repro.bdd.predicate.PredicateEngine.signature`) and one
+          conjunction against the block *support* (the disjunction of
+          overwrite predicates — pass it in when Reduce I already has
+          it) let ECs disjoint from the whole block bypass the
+          per-overwrite loop entirely (``mr2.apply.ecs_skipped``);
+        * per (EC, overwrite) pair — non-intersecting signatures prove
+          disjointness without any BDD operation
+          (``mr2.apply.pairs_pruned``), and surviving pairs compute
+          their intersect/remainder halves in one
+          :meth:`Predicate.split` traversal instead of two applies.
+
+        Set ``fast_apply=False`` to run the historical cross product;
+        both produce the same model (the property tests hold them
+        equal).
+        """
+        if not self.fast_apply:
+            return self.apply_overwrites_reference(overwrites)
+        ows = [
+            ow
+            for ow in overwrites
+            if not (ow.predicate.is_false or ow.is_noop)
+        ]
+        if not ows:
+            return [
+                EcDelta(predicate=pred, vector=vec, origin=pred.node)
+                for vec, pred in self._entries.items()
+            ]
+        engine = self.engine
+        sig_of = engine.signature
+        ow_sigs = [sig_of(ow.predicate) for ow in ows]
+        support_sig = 0
+        for s in ow_sigs:
+            support_sig |= s
+        if support is None and len(ows) > 1:
+            support = engine.disj_many([ow.predicate for ow in ows])
+        exact = (
+            len(ows) > 1 and support is not None and not support.is_true
+        )
+        # Buckets carry (predicate, origin, signature).
+        work: Dict[VecId, Tuple[Predicate, int, int]] = {}
+        untouched: Dict[VecId, Tuple[Predicate, int, int]] = {}
+        for vec, pred in self._entries.items():
+            psig = sig_of(pred)
+            if psig & support_sig == 0 or (
+                exact and (pred & support).is_false
+            ):
+                untouched[vec] = (pred, pred.node, psig)
+            else:
+                work[vec] = (pred, pred.node, psig)
+        if untouched:
+            engine.registry.counter("mr2.apply.ecs_skipped").inc(
+                len(untouched)
+            )
+        pruned = 0
+        for ow, ow_sig in zip(ows, ow_sigs):
+            delta = ow.delta_dict()
+            ow_pred = ow.predicate
+            next_work: Dict[VecId, Tuple[Predicate, int, int]] = {}
+            for vec, (pred, origin, psig) in work.items():
+                if psig & ow_sig == 0:
+                    pruned += 1
+                    self._merge(next_work, vec, pred, origin, psig)
+                    continue
+                inter, rest = pred.split(ow_pred)
+                if inter.is_false:
+                    self._merge(next_work, vec, pred, origin, psig)
+                    continue
+                if not rest.is_false:
+                    self._merge(next_work, vec, rest, origin, psig)
+                new_vec = self.store.overwrite(vec, delta)
+                self._merge(next_work, new_vec, inter, origin, psig & ow_sig)
+            work = next_work
+        if pruned:
+            engine.registry.counter("mr2.apply.pairs_pruned").inc(pruned)
+        for vec, (pred, origin, psig) in untouched.items():
+            self._merge(work, vec, pred, origin, psig)
+        self._entries = {vec: pred for vec, (pred, _, _) in work.items()}
+        return [
+            EcDelta(predicate=pred, vector=vec, origin=origin)
+            for vec, (pred, origin, _) in work.items()
+        ]
+
+    def apply_overwrites_reference(
+        self, overwrites: Iterable[Overwrite]
+    ) -> List[EcDelta]:
+        """The historical per-overwrite cross product, kept verbatim.
+
+        Semantic baseline for the fast path: no support pruning, and
+        separate ``&``/``-`` traversals per (EC, overwrite) pair.
         """
         work: Dict[VecId, Tuple[Predicate, int]] = {
             vec: (pred, pred.node) for vec, pred in self._entries.items()
@@ -105,13 +208,13 @@ class InverseModel:
             for vec, (pred, origin) in work.items():
                 inter = pred & ow.predicate
                 if inter.is_false:
-                    self._merge(next_work, vec, pred, origin)
+                    self._merge_reference(next_work, vec, pred, origin)
                     continue
                 rest = pred - ow.predicate
                 if not rest.is_false:
-                    self._merge(next_work, vec, rest, origin)
+                    self._merge_reference(next_work, vec, rest, origin)
                 new_vec = self.store.overwrite(vec, delta)
-                self._merge(next_work, new_vec, inter, origin)
+                self._merge_reference(next_work, new_vec, inter, origin)
             work = next_work
         self._entries = {vec: pred for vec, (pred, _) in work.items()}
         return [
@@ -121,6 +224,25 @@ class InverseModel:
 
     @staticmethod
     def _merge(
+        bucket: Dict[VecId, Tuple[Predicate, int, int]],
+        vec: VecId,
+        pred: Predicate,
+        origin: int,
+        sig: int,
+    ) -> None:
+        """Merge a (predicate, signature) piece into a fast-path bucket.
+
+        Signatures compose exactly over disjunction, so merged pieces
+        keep a valid pruning mask without re-walking the BDD.
+        """
+        existing = bucket.get(vec)
+        if existing is None:
+            bucket[vec] = (pred, origin, sig)
+        else:
+            bucket[vec] = (existing[0] | pred, existing[1], existing[2] | sig)
+
+    @staticmethod
+    def _merge_reference(
         bucket: Dict[VecId, Tuple[Predicate, int]],
         vec: VecId,
         pred: Predicate,
@@ -155,8 +277,15 @@ class InverseModel:
 
     # -- reporting ---------------------------------------------------------------
     def memory_estimate_bytes(self) -> int:
-        """EC table footprint: predicate DAG nodes + PAT nodes (~40 B each)."""
-        pred_nodes = sum(p.node_count() for p in self._entries.values())
+        """EC table footprint: predicate DAG nodes + PAT nodes (~40 B each).
+
+        EC predicates share BDD structure heavily (every split leaves
+        both halves pointing into the same subgraphs), so the node term
+        counts each distinct reachable node once across the whole table
+        rather than summing per-predicate ``node_count()`` — the latter
+        overstates Table-3 memory by the full sharing factor.
+        """
+        pred_nodes = self.engine.shared_node_count(self._entries.values())
         return pred_nodes * 40 + len(self._entries) * 64
 
     def __repr__(self) -> str:

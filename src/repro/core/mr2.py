@@ -32,7 +32,7 @@ def map_phase(
     snapshot: FibSnapshot,
     block: UpdateBlock,
     compiler: MatchCompiler,
-    indexes: Dict[int, "RuleIndex"] = None,
+    indexes: Optional[Dict[int, "RuleIndex"]] = None,
 ) -> List[Overwrite]:
     """Decompose the block into atomic overwrites, updating the FIBs.
 
@@ -153,8 +153,14 @@ class Mr2Pipeline:
                 compact = aggregate(atomics)
             else:
                 compact = list(atomics)
+            # The block support (union of overwrite predicates) falls out
+            # of the reduce for free; apply uses it to skip every EC the
+            # block cannot touch.
+            support = self.compiler.engine.disj_many(
+                [ow.predicate for ow in compact]
+            )
         with telemetry.span("mr2.apply"):
-            deltas = self.model.apply_overwrites(compact)
+            deltas = self.model.apply_overwrites(compact, support=support)
 
         telemetry.count("mr2.blocks")
         telemetry.count("mr2.updates", len(block))

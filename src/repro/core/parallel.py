@@ -20,8 +20,11 @@ exhausted is re-executed sequentially in the parent.  Failures come back
 as :class:`~repro.resilience.FailedSubspace` records on the result, never
 as a pool-wide exception.
 
-Updates, matches and layouts are plain picklable data; BDD predicates never
-cross process boundaries (each worker builds its own engine).
+Updates, matches and layouts are plain picklable data; BDD predicates
+cross process boundaries only as FBW1 wire blobs (:mod:`repro.bdd.wire`):
+with ``collect_models=True`` each worker serialises its post-run EC table
+into one levelized byte blob, and the parent imports every subspace's
+blob into a single merge engine — no per-node Python objects ever pickle.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..bdd.predicate import Predicate, PredicateEngine
 from ..dataplane.update import RuleUpdate
 from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import Match
@@ -69,10 +73,19 @@ class WorkerTask:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     fault: Optional[str] = None  # WorkerFaultSpec string, chaos drills only
     attempt: int = 0
+    collect_model: bool = False
 
 
-def _run_one(task: WorkerTask) -> Tuple[SubspaceRunStats, dict]:
-    """Verify one subspace; returns its stats plus a telemetry snapshot."""
+#: One subspace's shipped model: an FBW1 blob of every EC predicate plus
+#: the matching per-EC ``{device: action}`` dicts, in the same order.
+ModelPayload = Tuple[bytes, Tuple[Dict[int, object], ...]]
+
+WorkerOutcome = Tuple[SubspaceRunStats, dict, Optional[ModelPayload]]
+
+
+def _run_one(task: WorkerTask) -> WorkerOutcome:
+    """Verify one subspace; returns stats, a telemetry snapshot and —
+    when requested — the EC table as one wire blob."""
     if task.fault:
         WorkerFaultSpec.parse(task.fault).trigger(task.attempt)
     telemetry = Telemetry.from_config(task.telemetry)
@@ -93,7 +106,13 @@ def _run_one(task: WorkerTask) -> Tuple[SubspaceRunStats, dict]:
         ecs=manager.num_ecs(),
         updates=len(task.updates),
     )
-    return stats, registry.snapshot()
+    model: Optional[ModelPayload] = None
+    if task.collect_model:
+        entries = manager.model.entries()
+        blob = manager.engine.export_bytes([pred for pred, _ in entries])
+        actions = tuple(manager.store.to_dict(vec) for _, vec in entries)
+        model = (blob, actions)
+    return stats, registry.snapshot(), model
 
 
 def _run_one_safe(task: WorkerTask):
@@ -112,12 +131,21 @@ class PartitionedRunResult:
     so existing ``results, wall, registry = run_partitioned(...)`` call
     sites keep working; :attr:`failures` carries the
     :class:`~repro.resilience.FailedSubspace` supervision records.
+
+    With ``collect_models=True``, :attr:`models` maps each subspace name
+    to its post-run EC table — ``(Predicate, {device: action})`` pairs —
+    with every predicate imported into the shared :attr:`model_engine`,
+    so cross-subspace predicates compare and combine directly.
     """
 
     stats: List[SubspaceRunStats]
     wall_seconds: float
     registry: MetricsRegistry
     failures: List[FailedSubspace] = field(default_factory=list)
+    models: Dict[str, List[Tuple["Predicate", Dict[int, object]]]] = field(
+        default_factory=dict
+    )
+    model_engine: Optional["PredicateEngine"] = None
 
     def __iter__(self):
         return iter((self.stats, self.wall_seconds, self.registry))
@@ -159,6 +187,7 @@ def run_partitioned(
     faults: Optional[Mapping[str, str]] = None,
     mp_context: Optional[str] = None,
     maxtasksperchild: Optional[int] = 8,
+    collect_models: bool = False,
 ) -> PartitionedRunResult:
     """Run every subspace verifier, optionally across worker processes.
 
@@ -176,6 +205,11 @@ def run_partitioned(
     recorded as a :class:`~repro.resilience.FailedSubspace` instead of
     aborting the run.  ``faults`` maps subspace names to
     :class:`~repro.resilience.WorkerFaultSpec` strings (chaos drills).
+
+    ``collect_models=True`` additionally ships every worker's post-run
+    EC table back as one FBW1 wire blob each and imports them all into
+    one fresh parent-side engine (:attr:`PartitionedRunResult.models` /
+    :attr:`~PartitionedRunResult.model_engine`).
     """
     config = telemetry if telemetry is not None else TelemetryConfig()
     policy = retry if retry is not None else RetryPolicy()
@@ -189,13 +223,14 @@ def run_partitioned(
             updates=tuple(routed[s.index]),
             telemetry=config,
             fault=(faults or {}).get(s.name),
+            collect_model=collect_models,
         )
         for s in partition
     ]
     # The parent side always times the fan-out, even when worker-side
     # spans are disabled by the config.
     parent = Telemetry()
-    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]] = {}
+    outcomes: Dict[str, WorkerOutcome] = {}
     failures: List[FailedSubspace] = []
     with parent.span("parallel.run", workers=processes or 0):
         if not processes:
@@ -213,13 +248,21 @@ def run_partitioned(
             )
     wall = parent.registry.value("span.parallel.run.seconds")
     results: List[SubspaceRunStats] = []
+    models: Dict[str, List[Tuple[Predicate, Dict[int, object]]]] = {}
+    model_engine = (
+        PredicateEngine(layout.total_bits) if collect_models else None
+    )
     for task in tasks:
         outcome = outcomes.get(task.name)
         if outcome is None:
             continue
-        stats, snapshot = outcome
+        stats, snapshot, model = outcome
         results.append(stats)
         parent.registry.merge_snapshot(snapshot)
+        if model is not None and model_engine is not None:
+            blob, actions = model
+            preds = model_engine.import_bytes(blob)
+            models[task.name] = list(zip(preds, actions))
     parent.registry.gauge("parallel.workers").set(processes or 0)
     if failures:
         parent.registry.counter("resilience.subspace.failures").inc(
@@ -228,14 +271,21 @@ def run_partitioned(
         parent.registry.counter("resilience.subspace.recovered").inc(
             sum(1 for f in failures if f.recovered)
         )
-    return PartitionedRunResult(results, wall, parent.registry, failures)
+    return PartitionedRunResult(
+        results,
+        wall,
+        parent.registry,
+        failures,
+        models=models,
+        model_engine=model_engine,
+    )
 
 
 def _attempt_sequential(
     task: WorkerTask,
     policy: RetryPolicy,
     parent: Telemetry,
-    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]],
+    outcomes: Dict[str, WorkerOutcome],
     failures: List[FailedSubspace],
     history: Optional[List[str]] = None,
     base_attempt: int = 0,
@@ -280,7 +330,7 @@ def _run_sequential(
     tasks: Sequence[WorkerTask],
     policy: RetryPolicy,
     parent: Telemetry,
-    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]],
+    outcomes: Dict[str, WorkerOutcome],
     failures: List[FailedSubspace],
 ) -> None:
     for task in tasks:
@@ -292,7 +342,7 @@ def _run_pool(
     processes: int,
     policy: RetryPolicy,
     parent: Telemetry,
-    outcomes: Dict[str, Tuple[SubspaceRunStats, dict]],
+    outcomes: Dict[str, WorkerOutcome],
     failures: List[FailedSubspace],
     mp_context: Optional[str],
     maxtasksperchild: Optional[int],

@@ -141,22 +141,28 @@ def view_from_inverse_model(
     model,
     devices: Sequence[int],
 ) -> ModelView:
-    """From a Flash :class:`~repro.core.inverse_model.InverseModel`."""
+    """From a Flash :class:`~repro.core.inverse_model.InverseModel`.
+
+    The EC predicates travel as one bulk import (the FBW1 wire path) —
+    the shared DAG is walked once for the whole table, and every fuzz
+    replay exercises the same serialisation the parallel workers use.
+    """
+    pairs = model.entries()
+    imported = engine.import_predicates([pred for pred, _ in pairs])
     entries = [
-        (
-            engine.import_predicate(pred),
-            {d: model.action_of(vec, d) for d in devices},
-        )
-        for pred, vec in model.entries()
+        (ipred, {d: model.action_of(vec, d) for d in devices})
+        for ipred, (_, vec) in zip(imported, pairs)
     ]
     return ModelView(name, engine, devices, entries)
 
 
 def view_from_apkeep(name: str, engine: PredicateEngine, verifier) -> ModelView:
     devices = list(verifier.devices)
+    pairs = list(verifier.entries())
+    imported = engine.import_predicates([pred for pred, _ in pairs])
     entries = [
-        (engine.import_predicate(pred), dict(zip(devices, vector)))
-        for pred, vector in verifier.entries()
+        (ipred, dict(zip(devices, vector)))
+        for ipred, (_, vector) in zip(imported, pairs)
     ]
     return ModelView(name, engine, devices, entries)
 

@@ -12,6 +12,7 @@ ways:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -221,18 +222,48 @@ class Match:
 
 
 class MatchCompiler:
-    """Memoizing Match → Predicate compiler bound to one engine/layout."""
+    """Memoizing Match → Predicate compiler bound to one engine/layout.
 
-    def __init__(self, engine: PredicateEngine, layout: HeaderLayout) -> None:
+    The memo is a bounded LRU: long churn streams compile an unbounded
+    stream of distinct matches (every new prefix is a new key), and an
+    unbounded dict both leaks and — because cached predicates are live
+    handles — roots ever more BDD nodes against garbage collection.
+    ``max_entries`` caps it; the oldest untouched entry is evicted
+    first.  The current size is published as the ``match.cache.size``
+    gauge and evictions count into ``match.cache.evictions``.
+    """
+
+    #: Default entry cap; at typical rule-match sizes this is a few MB
+    #: of handles while comfortably covering one block's working set.
+    DEFAULT_MAX_ENTRIES = 8192
+
+    def __init__(
+        self,
+        engine: PredicateEngine,
+        layout: HeaderLayout,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
         self.engine = engine
         self.layout = layout
-        self._cache: Dict[Match, Predicate] = {}
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Match, Predicate]" = OrderedDict()
+        self._size_gauge = engine.registry.gauge("match.cache.size")
+        self._evictions = engine.registry.counter("match.cache.evictions")
 
     def compile(self, match: Match) -> Predicate:
-        pred = self._cache.get(match)
+        cache = self._cache
+        pred = cache.get(match)
         if pred is None:
             pred = match.to_predicate(self.engine, self.layout)
-            self._cache[match] = pred
+            cache[match] = pred
+            if len(cache) > self.max_entries:
+                cache.popitem(last=False)
+                self._evictions.inc()
+            self._size_gauge.set(len(cache))
+        else:
+            cache.move_to_end(match)
         return pred
 
     def __len__(self) -> int:

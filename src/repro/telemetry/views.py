@@ -19,7 +19,7 @@ consume:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 from .registry import MetricsRegistry
@@ -120,9 +120,10 @@ class OpSnapshot:
     conjunctions: int = 0
     disjunctions: int = 0
     negations: int = 0
-    extra: Dict[str, int] = None  # type: ignore[assignment]
+    extra: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Tolerate legacy callers that pass extra=None explicitly.
         if self.extra is None:
             self.extra = {}
 
@@ -225,6 +226,9 @@ class BddEngineStats:
 
     ite_calls: int = 0
     apply_calls: int = 0
+    split_calls: int = 0
+    split_expansions: int = 0
+    split_cache_hits: int = 0
     cache_hits: int = 0
     cache_lookups: int = 0
     cache_evictions: int = 0
@@ -244,6 +248,9 @@ class BddEngineStats:
         return cls(
             ite_calls=int(registry.value("bdd.ite.calls")),
             apply_calls=int(registry.value("bdd.apply.calls")),
+            split_calls=int(registry.value("bdd.split.calls")),
+            split_expansions=int(registry.value("bdd.split.expansions")),
+            split_cache_hits=int(registry.value("bdd.split.cache_hits")),
             cache_hits=int(registry.value("bdd.cache.hits")),
             cache_lookups=int(registry.value("bdd.cache.lookups")),
             cache_evictions=int(registry.value("bdd.cache.evictions")),
@@ -274,6 +281,9 @@ class BddEngineStats:
         return {
             "ite_calls": self.ite_calls,
             "apply_calls": self.apply_calls,
+            "split_calls": self.split_calls,
+            "split_expansions": self.split_expansions,
+            "split_cache_hits": self.split_cache_hits,
             "cache_hits": self.cache_hits,
             "cache_lookups": self.cache_lookups,
             "cache_evictions": self.cache_evictions,

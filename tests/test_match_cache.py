@@ -1,0 +1,85 @@
+"""Bounded-LRU regression tests for :class:`MatchCompiler`.
+
+The compiler's memo used to grow without bound: every distinct match in
+a churn stream is a new key, and each cached predicate is a live handle
+rooting BDD nodes against collection.  These tests pin the cap, the
+eviction order, and the telemetry that tracks both.
+"""
+
+import pytest
+
+from repro.bdd.predicate import PredicateEngine
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match, MatchCompiler
+
+LAYOUT = dst_only_layout(10)
+
+
+def fresh_compiler(max_entries=8):
+    engine = PredicateEngine(LAYOUT.total_bits)
+    return MatchCompiler(engine, LAYOUT, max_entries=max_entries), engine
+
+
+def prefix(value, length=10):
+    return Match.dst_prefix(value, length, LAYOUT)
+
+
+def test_cache_never_exceeds_cap():
+    compiler, engine = fresh_compiler(max_entries=8)
+    for value in range(50):
+        compiler.compile(prefix(value))
+        assert len(compiler) <= 8
+    assert engine.registry.value("match.cache.size") == 8
+    assert engine.registry.value("match.cache.evictions") == 42
+
+
+def test_eviction_is_lru_not_fifo():
+    compiler, _ = fresh_compiler(max_entries=3)
+    a, b, c, d = (prefix(v) for v in range(4))
+    compiler.compile(a)
+    compiler.compile(b)
+    compiler.compile(c)
+    compiler.compile(a)  # refresh a: b is now the oldest
+    compiler.compile(d)  # evicts b
+    assert a in compiler._cache
+    assert b not in compiler._cache
+    assert c in compiler._cache
+    assert d in compiler._cache
+
+
+def test_hit_returns_same_handle_and_skips_recompile():
+    compiler, engine = fresh_compiler()
+    first = compiler.compile(prefix(5))
+    ops_after_first = engine.metrics.total
+    second = compiler.compile(prefix(5))
+    assert second is first
+    assert engine.metrics.total == ops_after_first
+
+
+def test_evicted_entry_recompiles_to_equal_predicate():
+    compiler, _ = fresh_compiler(max_entries=2)
+    original = compiler.compile(prefix(1))
+    compiler.compile(prefix(2))
+    compiler.compile(prefix(3))  # evicts prefix(1)
+    assert prefix(1) not in compiler._cache
+    assert compiler.compile(prefix(1)) == original
+
+
+def test_size_gauge_tracks_current_occupancy():
+    compiler, engine = fresh_compiler(max_entries=16)
+    for value in range(5):
+        compiler.compile(prefix(value))
+    assert engine.registry.value("match.cache.size") == 5
+    assert len(compiler) == 5
+
+
+def test_invalid_cap_rejected():
+    engine = PredicateEngine(LAYOUT.total_bits)
+    with pytest.raises(ValueError):
+        MatchCompiler(engine, LAYOUT, max_entries=0)
+
+
+def test_default_cap_is_bounded():
+    engine = PredicateEngine(LAYOUT.total_bits)
+    compiler = MatchCompiler(engine, LAYOUT)
+    assert compiler.max_entries == MatchCompiler.DEFAULT_MAX_ENTRIES == 8192

@@ -188,3 +188,63 @@ class TestSupervision:
         failure = result.failures[0]
         assert failure.subspace == "sub0"
         assert failure.timed_out and failure.recovered
+
+
+class TestModelCollection:
+    """collect_models ships worker EC tables home as FBW1 wire blobs."""
+
+    def test_models_arrive_in_one_shared_engine(self):
+        topo, partition, updates = setup_workload()
+        result = run_partitioned(
+            topo.switches(),
+            LAYOUT,
+            partition,
+            updates,
+            processes=None,
+            collect_models=True,
+        )
+        assert set(result.models) == {"sub0", "sub1"}
+        assert result.model_engine is not None
+        for name, entries in result.models.items():
+            assert entries, f"{name}: empty model"
+            for pred, actions in entries:
+                assert pred.engine is result.model_engine
+                assert not pred.is_false
+                assert set(actions) == set(topo.switches())
+        # Subspaces are disjoint, so their EC unions must be too.
+        union0 = result.model_engine.disj_many(
+            p for p, _ in result.models["sub0"]
+        )
+        union1 = result.model_engine.disj_many(
+            p for p, _ in result.models["sub1"]
+        )
+        assert (union0 & union1).is_false
+
+    def test_pool_models_match_sequential(self):
+        topo, partition, updates = setup_workload()
+        seq = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=None, collect_models=True,
+        )
+        par = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, collect_models=True,
+        )
+        for name in seq.models:
+            seq_view = {
+                tuple(sorted(actions.items())): pred.sat_count()
+                for pred, actions in seq.models[name]
+            }
+            par_view = {
+                tuple(sorted(actions.items())): pred.sat_count()
+                for pred, actions in par.models[name]
+            }
+            assert seq_view == par_view
+
+    def test_models_empty_when_not_requested(self):
+        topo, partition, updates = setup_workload()
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates, processes=None
+        )
+        assert result.models == {}
+        assert result.model_engine is None
