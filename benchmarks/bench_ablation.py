@@ -20,7 +20,7 @@ import pytest
 from repro.baselines.apkeep import APKeepVerifier
 from repro.ce2d.loop_detector import LoopDetector
 from repro.core.arraystore import ArrayActionStore
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import Rule
 from repro.dataplane.update import insert
 from repro.headerspace.fields import dst_only_layout
@@ -39,7 +39,7 @@ def bench_ablation_pat_vs_array(benchmark):
 
     def run():
         for label, store in (("pat", None), ("array", ArrayActionStore())):
-            manager = ModelManager(
+            manager = ModelWriter(
                 setting.topology.switches(), setting.layout, store=store
             )
             start = time.perf_counter()
@@ -127,7 +127,7 @@ def bench_ablation_aggregation(benchmark):
 
     def run():
         for label, aggregate in (("mr2", True), ("no-reduce", False)):
-            manager = ModelManager(
+            manager = ModelWriter(
                 setting.topology.switches(), setting.layout, aggregate=aggregate
             )
             manager.submit(updates)
@@ -213,9 +213,9 @@ def bench_ablation_hyper_nodes(benchmark):
             "C": Rule(1, Match.wildcard(), topo.id_of("X")),
         }
         for label, use_hyper in (("hyper", True), ("naive", False)):
-            from repro.core.model_manager import ModelManager
+            from repro.core.model_manager import ModelWriter
 
-            manager = ModelManager(topo.switches(), layout)
+            manager = ModelWriter(topo.switches(), layout)
             detector = LoopDetector(topo, use_hyper=use_hyper)
             for name, rule in updates.items():
                 device = topo.id_of(name)
@@ -253,7 +253,7 @@ def bench_ablation_flash_trie(benchmark):
 
     def run():
         for label, use_trie in (("scan", False), ("trie", True)):
-            manager = ModelManager(
+            manager = ModelWriter(
                 setting.topology.switches(),
                 setting.layout,
                 block_threshold=1,  # per-update mode: where look-up matters

@@ -3,7 +3,7 @@
 Where ``bench_micro.py`` gates raw BDD operation throughput, this harness
 gates what the paper actually reports: *model update* time through the
 whole Fast IMT stack — map → reduce → apply on a real
-:class:`~repro.core.model_manager.ModelManager` — comparing the
+:class:`~repro.core.model_manager.ModelWriter` — comparing the
 support-pruned single-traversal apply path against the retained reference
 cross product (``InverseModel.fast_apply = False``).
 
@@ -60,7 +60,7 @@ from typing import Dict, List, Sequence, Tuple
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import Rule
 from repro.dataplane.trace import inserts_only
 from repro.dataplane.update import RuleUpdate, delete, insert
@@ -203,7 +203,7 @@ SETTINGS = {
 # Measurement
 # ----------------------------------------------------------------------
 
-def _canonical_model(manager: ModelManager) -> List[Tuple[int, str]]:
+def _canonical_model(manager: ModelWriter) -> List[Tuple[int, str]]:
     """Engine-independent semantic form of the final EC table."""
     rows = []
     for pred, vec in manager.model.entries():
@@ -214,7 +214,7 @@ def _canonical_model(manager: ModelManager) -> List[Tuple[int, str]]:
 
 
 def _run_once(workload: Workload, fast: bool):
-    manager = ModelManager(
+    manager = ModelWriter(
         workload.devices, workload.layout, **workload.manager_kwargs
     )
     manager.model.fast_apply = fast

@@ -18,14 +18,14 @@ import time
 import pytest
 
 from repro.baselines.apkeep import APKeepVerifier
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 
 from .harness import save_json
 from .settings import i2_trace
 
 
 def _run_flash(setting, updates, per_update: bool):
-    manager = ModelManager(
+    manager = ModelWriter(
         setting.topology.switches(),
         setting.layout,
         block_threshold=1 if per_update else None,

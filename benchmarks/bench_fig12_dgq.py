@@ -24,7 +24,7 @@ import pytest
 
 from repro.ce2d.reachability import DgqReachability
 from repro.ce2d.verification_graph import VerificationGraph
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import next_hops_of
 from repro.dataplane.update import insert
 from repro.spec.ast import SelectorContext
@@ -79,7 +79,7 @@ def run_reachability_experiment():
     tors = topo.select(role="tor")
     racks = topo.externals()
 
-    manager = ModelManager(topo.switches(), layout)
+    manager = ModelWriter(topo.switches(), layout)
     automaton = compile_path_set(parse_path_set(". .* >"))
     graphs: Dict[int, VerificationGraph] = {}
     dgq: Dict[int, DgqReachability] = {}

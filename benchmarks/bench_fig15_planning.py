@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.update import insert
 from repro.fibgen.planning import pod_addition_scenario
 
@@ -27,7 +27,7 @@ def bench_fig15_planning_storm(benchmark):
         rows.clear()
         for k, p in CASES:
             scenario = pod_addition_scenario(k=k, prefixes_per_pod=p)
-            manager = ModelManager(
+            manager = ModelWriter(
                 scenario.topology.switches(), scenario.layout
             )
             manager.submit(

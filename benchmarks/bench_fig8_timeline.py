@@ -25,7 +25,7 @@ from repro.baselines.strategies import (
 from repro.ce2d.loop_detector import LoopDetector
 from repro.results import Verdict
 from repro.core.inverse_model import EcDelta
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.flash import Flash
 from repro.headerspace.fields import dst_only_layout
 from repro.network.generators import internet2
@@ -38,7 +38,7 @@ LAYOUT = dst_only_layout(8)
 
 def make_loop_check(topology):
     """Epoch-blind loop check over the full current model (what PUV/BUV do)."""
-    def check(manager: ModelManager) -> Optional[str]:
+    def check(manager: ModelWriter) -> Optional[str]:
         detector = LoopDetector(topology)
         deltas = [
             EcDelta(pred, vec, pred.node) for pred, vec in manager.model.entries()
@@ -70,9 +70,9 @@ def run_timeline():
     shown = [b for b in batches if b.time > start]
 
     check = make_loop_check(topo)
-    puv = PerUpdateVerification(ModelManager(topo.switches(), LAYOUT), check)
+    puv = PerUpdateVerification(ModelWriter(topo.switches(), LAYOUT), check)
     puv.feed((b.time, u) for b in batches for u in b.updates)
-    buv = BlockUpdateVerification(ModelManager(topo.switches(), LAYOUT), check)
+    buv = BlockUpdateVerification(ModelWriter(topo.switches(), LAYOUT), check)
     buv.feed_blocks((b.time, b.updates) for b in batches)
 
     flash = Flash(topo, LAYOUT, check_loops=True)

@@ -1,0 +1,225 @@
+"""Serving benchmark and consistency gate (``BENCH_serve.json``).
+
+The new headline scaling number for the verification-as-a-service layer
+(``repro.serve``): N query clients race one update storm against a
+:class:`~repro.serve.daemon.ServeDaemon`, and the harness reports p50 /
+p99 query latency and sustained QPS per setting.  Unlike the other
+benches, the first-class result here is a *proof obligation*: after the
+run, **every** served answer is re-derived from the batch oracle at the
+serve epoch it was pinned to (replay of exactly that many batches
+through a plain single-threaded ``ModelWriter``), and any mismatch
+fails the run outright — latency numbers from an inconsistent server
+are worthless.
+
+Settings
+--------
+* ``read_heavy`` — many clients, few churn blocks: snapshots live long,
+  the epoch-keyed result cache should carry most of the load (the gate
+  checks a cache hit-rate floor).
+* ``mixed_storm`` — the headline: clients and a sustained storm in
+  parallel, snapshot isolation ``copy`` (readers never touch the
+  writer's engine).
+* ``shared_lock`` — the same storm under ``shared`` isolation (readers
+  serialise with the writer on one lock): the consistency contract must
+  hold in both modes.
+
+Gating
+------
+Hardware-transferable invariants only (latency/QPS are reported, not
+gated): zero oracle divergences, zero ingest failures, every client
+got every answer, epochs actually advanced mid-run, and ``read_heavy``
+clears a cache hit-rate floor.  ``--check`` additionally compares the
+cache hit rate per setting against the committed baseline.
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_serve.py              # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick      # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py --check      # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve.load import ServeWorkload, build_workload, run_load
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_serve.json"
+)
+
+#: ``read_heavy`` must keep at least this cache hit rate (same-snapshot
+#: repeat queries are the whole point of the epoch-keyed cache).
+CACHE_FLOOR = 0.15
+#: Per-setting cache hit rate may drop at most this far below baseline.
+TOLERANCE = 0.5
+
+
+def _settings(seed: int, quick: bool) -> Dict[str, Dict[str, object]]:
+    """name → (workload, run_load kwargs)."""
+    mixed = build_workload(seed, quick, name="mixed_storm")
+    shared = build_workload(seed + 1, quick, name="shared_lock")
+    read_wl = build_workload(seed + 2, quick, name="read_heavy")
+    # Read-heavy: fewer blocks, more query pressure on stable snapshots.
+    read_wl.blocks = read_wl.blocks[: max(1, len(read_wl.blocks) // 4)]
+    read_wl.clients = read_wl.clients + 2
+    read_wl.queries_per_client = read_wl.queries_per_client * 2
+    return {
+        "read_heavy": {"workload": read_wl, "isolation": "copy"},
+        "mixed_storm": {"workload": mixed, "isolation": "copy"},
+        "shared_lock": {"workload": shared, "isolation": "shared"},
+    }
+
+
+def run_suite(quick: bool, seed: int) -> Dict[str, object]:
+    report: Dict[str, object] = {
+        "seed": seed,
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "settings": {},
+    }
+    for name, spec in _settings(seed, quick).items():
+        workload: ServeWorkload = spec["workload"]
+        result = run_load(
+            workload, seed=seed, isolation=spec["isolation"]
+        )
+        if result.divergences:
+            for d in result.divergences[:5]:
+                print(f"DIVERGENCE [{name}]: {d}", file=sys.stderr)
+            raise AssertionError(
+                f"{name}: {len(result.divergences)} served answers diverged "
+                "from the batch oracle"
+            )
+        row = result.as_dict()
+        row["isolation"] = spec["isolation"]
+        row["expected_queries"] = workload.clients * workload.queries_per_client
+        report["settings"][name] = row
+        print(
+            f"{name:<12} q={result.queries:<4} qps={result.qps:8.0f} "
+            f"p50={result.p50_ms:6.2f}ms p99={result.p99_ms:7.2f}ms "
+            f"epochs={result.final_epoch:<3} "
+            f"mid-storm={result.mid_storm_queries:<4} "
+            f"hit-rate={result.cache_hit_rate:.2f} "
+            f"divergences={len(result.divergences)}"
+        )
+    return report
+
+
+def check_invariants(report: Dict[str, object]) -> List[str]:
+    """Hardware-independent gates every run must satisfy."""
+    failures: List[str] = []
+    for name, row in report["settings"].items():
+        if row["divergences"] != 0:
+            failures.append(f"{name}: {row['divergences']} oracle divergences")
+        if row["ingest_failures"] != 0:
+            failures.append(f"{name}: {row['ingest_failures']} ingest failures")
+        if row["queries"] != row["expected_queries"]:
+            failures.append(
+                f"{name}: served {row['queries']} of "
+                f"{row['expected_queries']} queries"
+            )
+        if row["final_epoch"] < 2:
+            failures.append(
+                f"{name}: only {row['final_epoch']} epochs — the storm "
+                "never advanced the model"
+            )
+    read_heavy = report["settings"].get("read_heavy")
+    if read_heavy and read_heavy["cache_hit_rate"] < CACHE_FLOOR:
+        failures.append(
+            f"read_heavy: cache hit rate {read_heavy['cache_hit_rate']:.2f} "
+            f"below the {CACHE_FLOOR:.2f} floor"
+        )
+    return failures
+
+
+def check_against_baseline(
+    report: Dict[str, object], baseline_path: str
+) -> List[str]:
+    """Invariants plus relative cache-behaviour drift vs the baseline."""
+    failures = check_invariants(report)
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        return failures + [f"baseline file not found: {baseline_path}"]
+    base_section = baseline.get("modes", {}).get(report["mode"])
+    if base_section is None:
+        return failures + [
+            f"baseline has no {report['mode']!r} section: {baseline_path}"
+        ]
+    for name, row in report["settings"].items():
+        base = base_section.get("settings", {}).get(name)
+        if base is None:
+            continue
+        floor = base["cache_hit_rate"] * (1.0 - TOLERANCE)
+        if row["cache_hit_rate"] < floor:
+            failures.append(
+                f"{name}: cache hit rate {row['cache_hit_rate']:.2f} "
+                f"regressed >50% below baseline "
+                f"{base['cache_hit_rate']:.2f} (floor {floor:.2f})"
+            )
+    return failures
+
+
+def merge_into_baseline(report: Dict[str, object], path: str) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            payload = json.load(f)
+    except (FileNotFoundError, ValueError):
+        payload = {}
+    payload.setdefault("schema", "bench_serve/1")
+    payload.setdefault("modes", {})[report["mode"]] = report
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="merge the JSON report into this baseline file (default: "
+        "BENCH_serve.json at the repo root when not in --check mode)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: zero divergences/failures, epochs advanced, cache "
+        "floors, plus relative drift against the committed baseline",
+    )
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    args = parser.parse_args(argv)
+
+    report = run_suite(args.quick, args.seed)
+
+    output = args.output
+    if output is None and not args.check:
+        output = DEFAULT_BASELINE
+    if output:
+        merge_into_baseline(report, output)
+        print(f"wrote {output}")
+
+    failures = (
+        check_against_baseline(report, args.baseline)
+        if args.check
+        else check_invariants(report)
+    )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("serve consistency gate passed (zero divergences)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

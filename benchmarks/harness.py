@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.apkeep import APKeepVerifier
 from repro.baselines.deltanet import DeltaNetVerifier
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.core.subspace import SubspacePartition
 from repro.dataplane.update import RuleUpdate
 from repro.telemetry import OpMetrics, Telemetry
@@ -82,7 +82,7 @@ def run_flash(
 ) -> RunResult:
     """Run the Fast IMT model manager over one subspace-less stream."""
     telemetry = Telemetry()
-    manager = ModelManager(
+    manager = ModelWriter(
         setting.topology.switches(),
         setting.layout,
         block_threshold=block_threshold,
@@ -126,9 +126,9 @@ def run_flash_partitioned(
     assert setting.partition is not None, f"{setting.name} has no partition"
     routed = setting.partition.route_updates(updates)
     telemetry = Telemetry()
-    managers: Dict[int, ModelManager] = {}
+    managers: Dict[int, ModelWriter] = {}
     for subspace in setting.partition:
-        managers[subspace.index] = ModelManager(
+        managers[subspace.index] = ModelWriter(
             setting.topology.switches(),
             setting.layout,
             block_threshold=block_threshold,

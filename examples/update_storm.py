@@ -15,7 +15,7 @@ import time
 
 from repro.baselines.apkeep import APKeepVerifier
 from repro.baselines.deltanet import DeltaNetVerifier
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.trace import inserts_only
 from repro.fibgen.ecmp import std_fib_ecmp
 from repro.headerspace.fields import dst_src_layout
@@ -35,7 +35,7 @@ def main():
           f"storm of {len(storm)} updates\n")
 
     # --- Flash: the whole storm as one Fast IMT block -------------------
-    manager = ModelManager(topo.switches(), layout)
+    manager = ModelWriter(topo.switches(), layout)
     start = time.perf_counter()
     manager.submit(storm)
     manager.flush()

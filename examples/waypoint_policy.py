@@ -14,7 +14,7 @@ Run:  python examples/waypoint_policy.py
 """
 
 from repro import Flash, Match, Rule, Verdict, insert, requirement
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.headerspace.fields import five_tuple_layout
 from repro.headerspace.match import Pattern
 from repro.network.generators import three_node_example
@@ -45,7 +45,7 @@ def main():
         insert(s3, Rule(0, Match({}), gateway)),
     ]
 
-    manager = ModelManager(topo.switches(), layout)
+    manager = ModelWriter(topo.switches(), layout)
     manager.submit(initial)
     manager.flush()
     print(f"initial inverse model: {manager.num_ecs()} equivalence classes")

@@ -19,7 +19,13 @@ from .analysis import (
 from .bdd import Predicate, PredicateEngine
 from .datasets import DatasetBundle, load_bundle, save_bundle
 from .ce2d import CE2DDispatcher, SubspaceVerifier
-from .core import ModelManager, SubspacePartition
+from .core import (
+    FrozenReadView,
+    ModelManager,
+    ModelReadView,
+    ModelWriter,
+    SubspacePartition,
+)
 from .results import (
     LoopReport,
     Report,
@@ -38,7 +44,7 @@ from .dataplane import (
     delete,
     insert,
 )
-from .flash import EpochGroupVerifier, Flash
+from .flash import EpochGroupVerifier, Flash, QueryableVerifier
 from .headerspace import HeaderLayout, Match, Pattern, dst_only_layout, dst_src_layout
 from .network import Topology, fabric, fat_tree, internet2
 from .difftest import DifferentialRunner, ReferenceOracle, ScenarioGenerator, Shrinker
@@ -63,7 +69,10 @@ __all__ = [
     "LoopReport",
     "Report",
     "RunSummary",
+    "FrozenReadView",
     "ModelManager",
+    "ModelReadView",
+    "ModelWriter",
     "SubspacePartition",
     "MetricsRegistry",
     "Telemetry",
@@ -78,6 +87,7 @@ __all__ = [
     "insert",
     "EpochGroupVerifier",
     "Flash",
+    "QueryableVerifier",
     "HeaderLayout",
     "Match",
     "Pattern",

@@ -3,7 +3,7 @@
 The inverse model is "an efficient data structure for use cases such that
 given the forwarding behavior, find the header spaces" (§3.1).  This module
 packages the queries operators actually ask on top of a
-:class:`~repro.core.model_manager.ModelManager`:
+:class:`~repro.core.model_manager.ModelWriter`:
 
 * :func:`trace_header` — the hop-by-hop path of one concrete packet;
 * :func:`reachability_matrix` — which (source, destination) pairs deliver,
@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .bdd.predicate import Predicate
-from .core.model_manager import ModelManager
+from .core.model_manager import ModelWriter
 from .dataplane.rule import DROP, Action, next_hops_of
 from .errors import ReproError
 from .network.topology import Topology
@@ -48,7 +48,7 @@ class HopTrace:
 
 
 def trace_header(
-    manager: ModelManager,
+    manager: ModelWriter,
     topology: Topology,
     start: int,
     values: Dict[str, int],
@@ -75,7 +75,7 @@ def trace_header(
 
 
 def reachability_matrix(
-    manager: ModelManager,
+    manager: ModelWriter,
     topology: Topology,
     sources: Sequence[int],
     destinations: Sequence[int],
@@ -128,7 +128,7 @@ class Blackhole:
 
 
 def find_blackholes(
-    manager: ModelManager,
+    manager: ModelWriter,
     topology: Topology,
     expected_delivered: Optional[Predicate] = None,
 ) -> List[Blackhole]:
@@ -151,7 +151,7 @@ def find_blackholes(
 
 
 def ec_summary(
-    manager: ModelManager, topology: Topology, limit: int = 32
+    manager: ModelWriter, topology: Topology, limit: int = 32
 ) -> List[str]:
     """Human-readable inverse model listing (biggest ECs first)."""
     rows = []
@@ -170,7 +170,7 @@ def ec_summary(
 
 
 def differences(
-    manager_a: ModelManager, manager_b: ModelManager
+    manager_a: ModelWriter, manager_b: ModelWriter
 ) -> Dict[int, Predicate]:
     """Per device: the header space where two models forward differently.
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..bdd.predicate import Predicate, PredicateEngine, deprecated_counter
+from ..bdd.predicate import Predicate, PredicateEngine
 from ..dataplane.fib import FibSnapshot
 from ..dataplane.rule import DROP, Action, Rule
 from ..dataplane.update import RuleUpdate
@@ -85,11 +85,6 @@ class APKeepVerifier:
     @property
     def registry(self):
         return self.engine.registry
-
-    @property
-    def counter(self):
-        """Deprecated: use :attr:`metrics` instead."""
-        return deprecated_counter(self.engine.metrics, "APKeepVerifier")
 
     # -- update processing ----------------------------------------------------
     def apply(self, update: RuleUpdate) -> None:

@@ -25,7 +25,6 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..bdd.predicate import deprecated_counter
 from ..dataplane.rule import DROP, Action, Rule
 from ..telemetry import MetricsRegistry, OpMetrics
 from ..dataplane.update import RuleUpdate
@@ -181,11 +180,6 @@ class DeltaNetVerifier:
                 self.metrics.bump("atom_ops")
 
     # -- queries ---------------------------------------------------------------
-    @property
-    def counter(self):
-        """Deprecated: use :attr:`metrics` instead."""
-        return deprecated_counter(self.metrics, "DeltaNetVerifier")
-
     @property
     def num_atoms(self) -> int:
         return len(self._bounds)

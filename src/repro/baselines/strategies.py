@@ -18,12 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.model_manager import ModelManager
+from ..core.model_manager import ModelWriter
 from ..dataplane.update import RuleUpdate
 
 #: A property checker: inspects a model manager, returns a violation
 #: description or None.
-PropertyCheck = Callable[[ModelManager], Optional[str]]
+PropertyCheck = Callable[[ModelWriter], Optional[str]]
 
 
 @dataclass
@@ -43,7 +43,7 @@ class PerUpdateVerification:
 
     name = "PUV"
 
-    def __init__(self, manager: ModelManager, check: PropertyCheck) -> None:
+    def __init__(self, manager: ModelWriter, check: PropertyCheck) -> None:
         self.manager = manager
         self.check = check
         self.reports: List[Report] = []
@@ -65,7 +65,7 @@ class BlockUpdateVerification:
 
     name = "BUV"
 
-    def __init__(self, manager: ModelManager, check: PropertyCheck) -> None:
+    def __init__(self, manager: ModelWriter, check: PropertyCheck) -> None:
         self.manager = manager
         self.check = check
         self.reports: List[Report] = []

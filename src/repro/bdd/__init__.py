@@ -1,7 +1,7 @@
 """Binary decision diagram substrate (the paper's JDD equivalent)."""
 
 from .engine import BDD, DEFAULT_CACHE_LIMIT, FALSE, TRUE, BddStats
-from .predicate import OpCounter, Predicate, PredicateEngine
+from .predicate import Predicate, PredicateEngine
 from .reference import ReferenceBDD
 
 __all__ = [
@@ -10,7 +10,6 @@ __all__ = [
     "FALSE",
     "TRUE",
     "BddStats",
-    "OpCounter",
     "Predicate",
     "PredicateEngine",
     "ReferenceBDD",

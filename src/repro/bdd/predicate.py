@@ -16,141 +16,15 @@ All higher layers (Fast IMT, CE2D, APKeep*) speak :class:`Predicate`;
 Delta-net* uses intervals instead and counts its interval operations through
 the same :class:`~repro.telemetry.OpMetrics` interface so Table 3 is
 comparable.
-
-The historical ``engine.counter`` accessor (a mutable ``OpCounter``
-dataclass callers poked directly) is deprecated; it still works through a
-registry-backed shim but emits :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import warnings
 import weakref
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..telemetry import MetricsRegistry, OpMetrics, OpSnapshot
+from ..telemetry import MetricsRegistry, OpMetrics
 from .engine import BDD, FALSE, TRUE
-
-
-@dataclass
-class OpCounter:
-    """Legacy mutable tally of predicate operations (pre-telemetry API).
-
-    Retained as a plain value type for external code; in-repo accounting
-    now lives in registry-backed :class:`~repro.telemetry.OpMetrics`.
-    """
-
-    conjunctions: int = 0
-    disjunctions: int = 0
-    negations: int = 0
-    extra: Dict[str, int] = field(default_factory=dict)
-
-    @property
-    def total(self) -> int:
-        return self.conjunctions + self.disjunctions + self.negations
-
-    def snapshot(self) -> "OpCounter":
-        return OpCounter(
-            conjunctions=self.conjunctions,
-            disjunctions=self.disjunctions,
-            negations=self.negations,
-            extra=dict(self.extra),
-        )
-
-    def diff(self, earlier: "OpCounter") -> "OpCounter":
-        return OpCounter(
-            conjunctions=self.conjunctions - earlier.conjunctions,
-            disjunctions=self.disjunctions - earlier.disjunctions,
-            negations=self.negations - earlier.negations,
-            extra={
-                k: self.extra.get(k, 0) - earlier.extra.get(k, 0)
-                for k in set(self.extra) | set(earlier.extra)
-            },
-        )
-
-    def bump(self, name: str, amount: int = 1) -> None:
-        self.extra[name] = self.extra.get(name, 0) + amount
-
-    def reset(self) -> None:
-        self.conjunctions = 0
-        self.disjunctions = 0
-        self.negations = 0
-        self.extra.clear()
-
-
-class _OpCounterShim:
-    """OpCounter-compatible view over registry-backed :class:`OpMetrics`.
-
-    Returned by the deprecated ``engine.counter`` accessor so legacy
-    callers (including ones that mutate ``counter.conjunctions``) keep
-    working against the registry.
-    """
-
-    __slots__ = ("_metrics",)
-
-    def __init__(self, metrics: OpMetrics) -> None:
-        object.__setattr__(self, "_metrics", metrics)
-
-    # -- the three tallies, readable and writable ----------------------
-    @property
-    def conjunctions(self) -> int:
-        return self._metrics.conjunctions
-
-    @conjunctions.setter
-    def conjunctions(self, value: int) -> None:
-        self._metrics._conj.value = value
-
-    @property
-    def disjunctions(self) -> int:
-        return self._metrics.disjunctions
-
-    @disjunctions.setter
-    def disjunctions(self, value: int) -> None:
-        self._metrics._disj.value = value
-
-    @property
-    def negations(self) -> int:
-        return self._metrics.negations
-
-    @negations.setter
-    def negations(self, value: int) -> None:
-        self._metrics._neg.value = value
-
-    # -- derived API ---------------------------------------------------
-    @property
-    def total(self) -> int:
-        return self._metrics.total
-
-    @property
-    def extra(self) -> Dict[str, int]:
-        return self._metrics.extra
-
-    def snapshot(self) -> OpSnapshot:
-        return self._metrics.snapshot()
-
-    def diff(self, earlier) -> OpSnapshot:
-        return self._metrics.diff(earlier)
-
-    def bump(self, name: str, amount: int = 1) -> None:
-        self._metrics.bump(name, amount)
-
-    def reset(self) -> None:
-        self._metrics.reset()
-
-    def __repr__(self) -> str:
-        return f"OpCounterShim({self._metrics!r})"
-
-
-def deprecated_counter(metrics: OpMetrics, owner: str) -> _OpCounterShim:
-    """Warn and build the legacy ``.counter`` view (shared by verifiers)."""
-    warnings.warn(
-        f"{owner}.counter is deprecated; use {owner}.metrics "
-        "(repro.telemetry.OpMetrics) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return _OpCounterShim(metrics)
 
 
 class Predicate:
@@ -320,12 +194,6 @@ class PredicateEngine:
             registry.gauge("bdd.cache.limit").set(bdd.cache_limit)
             registry.gauge("bdd.unique.size").set(bdd.unique_used)
             registry.gauge("bdd.unique.capacity").set(bdd.unique_capacity)
-
-    # -- deprecated accessor -------------------------------------------
-    @property
-    def counter(self) -> _OpCounterShim:
-        """Deprecated: use :attr:`metrics` (``repro.telemetry.OpMetrics``)."""
-        return deprecated_counter(self.metrics, "PredicateEngine")
 
     # -- constants -----------------------------------------------------
     @property

@@ -147,6 +147,21 @@ class CE2DDispatcher:
     def verifier_for(self, epoch: EpochTag) -> Optional[SubspaceVerifier]:
         return self.verifiers.get(epoch)
 
+    def latest_verifier(
+        self, epoch: Optional[EpochTag] = None
+    ) -> Optional[SubspaceVerifier]:
+        """The verifier for ``epoch``, or the most recently opened one.
+
+        ``dict`` preserves insertion order, so the last live entry is the
+        newest epoch group — the one current ingest lands in.
+        """
+        if epoch is not None:
+            return self.verifiers.get(epoch)
+        newest = None
+        for verifier in self.verifiers.values():
+            newest = verifier
+        return newest
+
     def active_verifiers(self) -> List[SubspaceVerifier]:
         return [
             v for t, v in self.verifiers.items() if self.tracker.is_active(t)

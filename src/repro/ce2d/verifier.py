@@ -1,7 +1,7 @@
 """Subspace verifiers (Figure 1): model manager + CE2D checkers.
 
 A :class:`SubspaceVerifier` owns one :class:`~repro.core.model_manager.
-ModelManager` for a (epoch, subspace) pair plus the CE2D checkers attached
+ModelWriter` for a (epoch, subspace) pair plus the CE2D checkers attached
 to it (loop detector, regex/cover verifiers).  Feeding it a device's update
 batch marks that device synchronised and runs early detection on the new
 consistent model.
@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from ..core.inverse_model import EcDelta
-from ..core.model_manager import ModelManager
+from ..core.model_manager import ModelWriter
 from ..dataplane.rule import DROP, Action
 from ..dataplane.update import EpochTag, RuleUpdate
 from ..headerspace.fields import HeaderLayout
@@ -54,7 +54,7 @@ class SubspaceVerifier:
         default_action: Action = DROP,
         block_threshold: Optional[int] = None,
         use_dgq: bool = True,
-        manager: Optional[ModelManager] = None,
+        manager: Optional[ModelWriter] = None,
         telemetry: Optional[Telemetry] = None,
         validation: str = "strict",
         recovery: bool = False,
@@ -64,7 +64,7 @@ class SubspaceVerifier:
         self.epoch = epoch
         self.subspace_match = subspace_match
         if manager is None:
-            manager = ModelManager(
+            manager = ModelWriter(
                 topology.switches(),
                 layout,
                 default_action=default_action,
@@ -121,6 +121,22 @@ class SubspaceVerifier:
                 for pred, vec in self.manager.model.entries()
             ]
         return self._run_checkers(deltas, [device], now)
+
+    # -- QueryableVerifier --------------------------------------------------
+    def ingest(
+        self,
+        device: int,
+        updates: Sequence[RuleUpdate],
+        *,
+        epoch: Optional[EpochTag] = None,
+        now: Optional[float] = None,
+    ) -> List[Report]:
+        """Unified ingestion door; this verifier is pinned, ``epoch`` ignored."""
+        return self.receive(device, updates, now=now)
+
+    def read_view(self):
+        """Snapshot-pinned :class:`~repro.core.model_manager.ModelReadView`."""
+        return self.manager.read_view()
 
     def _run_checkers(
         self,

@@ -23,7 +23,7 @@ from .baselines.apkeep import APKeepVerifier
 from .baselines.deltanet import DeltaNetVerifier
 from .results import Verdict
 from .telemetry import JsonLinesExporter, Telemetry, TelemetryConfig
-from .core.model_manager import ModelManager
+from .core.model_manager import ModelWriter
 from .dataplane.trace import inserts_only, insert_then_delete, read_trace, write_trace
 from .errors import ReproError
 from .fibgen.ecmp import std_fib_ecmp
@@ -153,7 +153,7 @@ def cmd_analyze(args) -> int:
     _attach_loopbacks(topo)
     layout = _build_layout(args)
     updates = list(read_trace(args.trace))
-    manager = ModelManager(topo.switches(), layout)
+    manager = ModelWriter(topo.switches(), layout)
     manager.submit(updates)
     manager.flush()
     print(f"model: {manager.num_ecs()} equivalence classes from "
@@ -299,6 +299,48 @@ def cmd_simulate(args) -> int:
     return 1 if violations else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the serve-load demo: clients vs. storm, oracle-checked."""
+    # Lazy import: the serve stack (threads, daemon machinery) should not
+    # tax the other subcommands' startup.
+    from .serve.load import build_workload, run_load
+
+    telemetry = Telemetry()
+    workload = build_workload(args.seed, args.quick)
+    result = run_load(
+        workload,
+        seed=args.seed,
+        isolation=args.isolation,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        telemetry=telemetry,
+    )
+    print(
+        f"served {result.queries} queries at {result.qps:.0f} qps "
+        f"(p50 {result.p50_ms:.2f}ms, p99 {result.p99_ms:.2f}ms) while "
+        f"ingesting {result.final_epoch} epochs"
+    )
+    print(
+        f"mid-storm answers: {result.mid_storm_queries} across "
+        f"{result.distinct_epochs} distinct snapshots; cache hit rate "
+        f"{result.cache_hit_rate:.2f}; backpressure rejections "
+        f"{result.rejected}"
+    )
+    if result.divergences:
+        for d in result.divergences[:5]:
+            print(f"DIVERGENCE: {d}", file=sys.stderr)
+        print(
+            f"{len(result.divergences)} answers diverged from the batch "
+            "oracle",
+            file=sys.stderr,
+        )
+        return 1
+    print("every served answer equals the batch oracle at its pinned epoch")
+    if args.telemetry:
+        _export_telemetry(args.telemetry, telemetry, "serve")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -391,6 +433,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="append metric/span/report records to a JSON-lines file",
     )
     simp.set_defaults(func=cmd_simulate)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the query daemon under a client/storm load, "
+        "oracle-checked (repro.serve)",
+    )
+    srv.add_argument("--quick", action="store_true", help="small demo sizes")
+    srv.add_argument("--seed", type=int, default=29)
+    srv.add_argument(
+        "--isolation", default="copy", choices=["copy", "shared"],
+        help="snapshot isolation: per-snapshot engine copy, or readers "
+        "sharing the writer's engine behind one lock",
+    )
+    srv.add_argument("--workers", type=int, default=4,
+                     help="query thread-pool size")
+    srv.add_argument("--queue-size", type=int, default=8, dest="queue_size",
+                     help="ingest queue bound (backpressure threshold)")
+    srv.add_argument(
+        "--telemetry", default=None, metavar="OUT.JSONL",
+        help="append metric/span/report records to a JSON-lines file",
+    )
+    srv.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -13,7 +13,12 @@ from .imt import (
     natural_transformation,
 )
 from .inverse_model import EcDelta, InverseModel, VecId
-from .model_manager import ModelManager
+from .model_manager import (
+    FrozenReadView,
+    ModelManager,
+    ModelReadView,
+    ModelWriter,
+)
 from .mr2 import (
     Mr2Pipeline,
     aggregate,
@@ -42,7 +47,10 @@ __all__ = [
     "EcDelta",
     "InverseModel",
     "VecId",
+    "FrozenReadView",
     "ModelManager",
+    "ModelReadView",
+    "ModelWriter",
     "Mr2Pipeline",
     "aggregate",
     "map_phase",

@@ -4,11 +4,47 @@ Maintains the FIB snapshot and the inverse model, buffering incoming rule
 updates until the *block size threshold* (BST, §5.2's parameter B) is
 reached, then running the Fast IMT pipeline to produce conflict-free model
 overwrites and the updated equivalence classes.
+
+The API is split along CE2D's read/write seam:
+
+* :class:`ModelWriter` — the single-writer surface (``submit`` /
+  ``flush`` / ``checkpoint`` / ``rollback``).  Every flush that changes
+  the model advances a monotonically increasing **model epoch**.
+* :class:`ModelReadView` — the protocol readers consume: a
+  snapshot-pinned EC table (``entries`` / ``num_ecs`` / ``action_of`` /
+  ``vector_for``) plus the engine/layout needed to evaluate queries.
+  :meth:`ModelWriter.read_view` captures one as a
+  :class:`FrozenReadView`; because predicates are immutable BDD handles
+  and the PAT store is append-only hash-consed, the captured view stays
+  valid (and answers identically) no matter how far the writer advances.
+* :class:`ModelManager` — the historical monolithic API, retained as a
+  deprecated-with-warning alias of :class:`ModelWriter` for external
+  callers.
+
+``repro.serve`` builds its snapshot-isolated query daemon on this split;
+see ``docs/serve.md`` for the consistency contract.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+import warnings
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+try:  # Protocol is typing-only; keep 3.9 compatibility explicit.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - 3.9+ always has it
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
 
 from ..bdd.predicate import Predicate, PredicateEngine
 from ..dataplane.fib import FibSnapshot
@@ -25,12 +61,121 @@ from ..resilience.validator import (
 )
 from ..telemetry import PhaseBreakdown, Telemetry
 from .actiontree import ActionTreeStore
-from .inverse_model import EcDelta, InverseModel
+from .inverse_model import EcDelta, InverseModel, VecId
 from .mr2 import Mr2Pipeline
 
 
-class ModelManager:
-    """FIB snapshot + inverse model + Fast IMT, behind one `submit` API.
+@runtime_checkable
+class ModelReadView(Protocol):
+    """What a reader may do with a model version — and nothing else.
+
+    Implementations are *snapshot-pinned*: every method answers against
+    one consistent model version (one writer epoch), regardless of
+    concurrent writer progress.  :class:`FrozenReadView` is the
+    canonical implementation; ``repro.serve`` snapshots satisfy the same
+    protocol after being re-hosted in an isolated engine.
+    """
+
+    engine: PredicateEngine
+    layout: HeaderLayout
+    epoch: int
+
+    def num_ecs(self) -> int: ...
+
+    def entries(self) -> Sequence[Tuple[Predicate, VecId]]: ...
+
+    def action_of(self, vector: VecId, device: int) -> Action: ...
+
+    def vector_for(self, assignment: Dict[int, bool]) -> VecId: ...
+
+    def behavior(self, assignment: Dict[int, bool]) -> Dict[int, Action]: ...
+
+
+class FrozenReadView:
+    """An immutable, consistent EC-table snapshot of one model epoch.
+
+    Cheap to capture: predicates are shared immutable handles (holding
+    them also roots them against engine GC) and action vectors are ids
+    into the append-only PAT store, so the capture is one list copy —
+    no BDD state is duplicated.  The view keeps answering for the epoch
+    it was pinned at even while the owning :class:`ModelWriter` keeps
+    flushing; use :func:`repro.serve.isolate_view` when readers must
+    additionally never touch the writer's engine.
+    """
+
+    __slots__ = (
+        "engine",
+        "layout",
+        "store",
+        "devices",
+        "epoch",
+        "universe",
+        "_entries",
+        "_compiler",
+    )
+
+    def __init__(
+        self,
+        engine: PredicateEngine,
+        layout: HeaderLayout,
+        store: ActionTreeStore,
+        devices: Sequence[int],
+        entries: Sequence[Tuple[Predicate, VecId]],
+        epoch: int,
+        universe: Predicate,
+    ) -> None:
+        self.engine = engine
+        self.layout = layout
+        self.store = store
+        self.devices = list(devices)
+        self.epoch = epoch
+        self.universe = universe
+        self._entries: Tuple[Tuple[Predicate, VecId], ...] = tuple(entries)
+        self._compiler: Optional[MatchCompiler] = None
+
+    # -- the read surface ----------------------------------------------
+    def num_ecs(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Sequence[Tuple[Predicate, VecId]]:
+        return self._entries
+
+    def predicates(self) -> List[Predicate]:
+        return [p for p, _ in self._entries]
+
+    def action_of(self, vector: VecId, device: int) -> Action:
+        return self.store.get(vector, device)
+
+    def vector_for(self, assignment: Dict[int, bool]) -> VecId:
+        for pred, vector in self._entries:
+            if pred.evaluate(assignment):
+                return vector
+        from ..errors import ModelInvariantError
+
+        raise ModelInvariantError("header not covered by any EC")
+
+    def behavior(self, assignment: Dict[int, bool]) -> Dict[int, Action]:
+        return self.store.to_dict(self.vector_for(assignment))
+
+    @property
+    def compiler(self) -> MatchCompiler:
+        """A match compiler over this view's engine (built lazily)."""
+        if self._compiler is None:
+            self._compiler = MatchCompiler(self.engine, self.layout)
+        return self._compiler
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenReadView(epoch={self.epoch}, {len(self._entries)} ECs, "
+            f"{len(self.devices)} devices)"
+        )
+
+
+class ModelWriter:
+    """FIB snapshot + inverse model + Fast IMT: the writer surface.
 
     Parameters
     ----------
@@ -59,6 +204,12 @@ class ModelManager:
         raises (invariant violation, corrupt state), roll back to the
         pre-block journal and fall back to a batch recompute of the
         block's valid net effect (``resilience.fallback.*`` telemetry).
+
+    Readers never touch this class: they pin a :class:`FrozenReadView`
+    via :meth:`read_view` and evaluate against it.  Each flush that
+    changes the model (and each rollback/fallback) advances
+    :attr:`epoch`, so a view's ``epoch`` names exactly one model
+    version.
     """
 
     def __init__(
@@ -116,6 +267,7 @@ class ModelManager:
                 telemetry=self.telemetry,
             )
         self._last_checkpoint: Optional[ModelCheckpoint] = None
+        self._epoch = 0
 
     def _make_pipeline(self) -> Mr2Pipeline:
         return Mr2Pipeline(
@@ -125,6 +277,30 @@ class ModelManager:
             aggregate_overwrites=self._aggregate,
             use_trie=self._use_trie,
             telemetry=self.telemetry,
+        )
+
+    # -- read/write split ---------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic model-version counter: +1 per state-changing flush,
+        rollback, or fallback recompute."""
+        return self._epoch
+
+    def read_view(self) -> FrozenReadView:
+        """Pin the current model version as an immutable read view.
+
+        The returned view satisfies :class:`ModelReadView` and keeps
+        answering for this epoch even as the writer advances — the
+        CE2D snapshot-isolation guarantee applied to query serving.
+        """
+        return FrozenReadView(
+            engine=self.engine,
+            layout=self.layout,
+            store=self.store,
+            devices=self._devices,
+            entries=self.model.entries(),
+            epoch=self._epoch,
+            universe=self.model.universe,
         )
 
     # -- ingestion ---------------------------------------------------------
@@ -162,12 +338,16 @@ class ModelManager:
         block = UpdateBlock(self._pending)
         self._pending = []
         if not self.recovery:
-            return self.pipeline.process_block(block)
+            deltas = self.pipeline.process_block(block)
+            self._epoch += 1
+            return deltas
         checkpoint = self.checkpoint()
         try:
-            return self.pipeline.process_block(block)
+            deltas = self.pipeline.process_block(block)
         except ReproError as exc:
             return self._fallback_recompute(checkpoint, block, exc)
+        self._epoch += 1
+        return deltas
 
     # -- checkpoint / rollback (repro.resilience) --------------------------
     def checkpoint(self) -> ModelCheckpoint:
@@ -190,6 +370,7 @@ class ModelManager:
             checkpoint = self._last_checkpoint
         self._pending = []
         self._rebuild_from_checkpoint(checkpoint)
+        self._epoch += 1
         self.telemetry.count("resilience.rollback.count")
 
     def _rebuild_from_checkpoint(
@@ -250,6 +431,7 @@ class ModelManager:
         deltas = self._rebuild_from_checkpoint(
             ModelCheckpoint.from_journal(journal)
         )
+        self._epoch += 1
         self.telemetry.registry.gauge("resilience.fallback.active").set(0)
         self.telemetry.count("resilience.fallback.recovered")
         if not deltas:
@@ -295,6 +477,28 @@ class ModelManager:
 
     def __repr__(self) -> str:
         return (
-            f"ModelManager({len(self.snapshot.tables)} devices, "
-            f"{self.num_ecs()} ECs, pending={self.pending_count})"
+            f"{type(self).__name__}({len(self.snapshot.tables)} devices, "
+            f"{self.num_ecs()} ECs, pending={self.pending_count}, "
+            f"epoch={self._epoch})"
         )
+
+
+class ModelManager(ModelWriter):
+    """Deprecated monolithic facade — use :class:`ModelWriter` instead.
+
+    The writer surface (``submit``/``flush``/``checkpoint``/``rollback``)
+    lives on :class:`ModelWriter`; readers should pin a
+    :class:`ModelReadView` via :meth:`ModelWriter.read_view` rather than
+    reaching into ``manager.model`` directly.  This alias keeps the
+    historical constructor working but emits a
+    :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ModelManager is deprecated; construct a ModelWriter and pin "
+            "readers on ModelWriter.read_view() (ModelReadView) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

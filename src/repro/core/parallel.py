@@ -42,7 +42,7 @@ from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import Match
 from ..resilience.supervisor import FailedSubspace, RetryPolicy, WorkerFaultSpec
 from ..telemetry import MetricsRegistry, Telemetry, TelemetryConfig
-from .model_manager import ModelManager
+from .model_manager import ModelWriter
 from .subspace import SubspacePartition
 
 
@@ -89,7 +89,7 @@ def _run_one(task: WorkerTask) -> WorkerOutcome:
     if task.fault:
         WorkerFaultSpec.parse(task.fault).trigger(task.attempt)
     telemetry = Telemetry.from_config(task.telemetry)
-    manager = ModelManager(
+    manager = ModelWriter(
         list(task.devices),
         task.layout,
         subspace_match=task.subspace_match,

@@ -26,7 +26,7 @@ from ..bdd.predicate import Predicate
 from ..dataplane.rule import DROP, Action, next_hops_of
 from ..errors import HeaderSpaceError
 from ..network.topology import Topology
-from .model_manager import ModelManager
+from .model_manager import ModelWriter
 
 
 @dataclass(frozen=True)
@@ -54,7 +54,7 @@ State = Tuple[int, int]  # (device, EC predicate node)
 class RewriteAwareChecker:
     """Loop/reachability analysis over (device, EC) states with rewrites."""
 
-    def __init__(self, manager: ModelManager, topology: Topology) -> None:
+    def __init__(self, manager: ModelWriter, topology: Topology) -> None:
         self.manager = manager
         self.topology = topology
         self.layout = manager.layout

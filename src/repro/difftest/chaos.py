@@ -6,7 +6,7 @@ same data plane from a clean update stream.  Chaos mode asserts the
 (:mod:`repro.resilience`): feed a deliberately corrupted copy of the
 stream — duplicates, phantom deletes, reorderings, stale epoch tags,
 truncated-then-retried batches, per a named :class:`FaultProfile` —
-into a :class:`~repro.core.model_manager.ModelManager` running under the
+into a :class:`~repro.core.model_manager.ModelWriter` running under the
 ``repair`` and ``quarantine`` policies, and the resulting model must
 still converge to the brute-force :class:`ReferenceOracle`'s verdict on
 the *clean* stream.
@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bdd.predicate import PredicateEngine
-from ..core.model_manager import ModelManager
+from ..core.model_manager import ModelWriter
 from ..errors import ReproError
 from ..headerspace.match import MatchCompiler
 from ..resilience import (
@@ -225,14 +225,14 @@ class ChaosRunner:
     # ------------------------------------------------------------------
     def _supervised_manager(
         self, scenario: Scenario, switches: List[int], layout, policy: str
-    ) -> ModelManager:
+    ) -> ModelWriter:
         # The injector stamps stale copies with ``stale<epoch`` — declare
         # it a known *predecessor* of the scenario epoch so the gate flags
         # regressions without ever rejecting a genuinely-tagged update.
         gate = EpochGate(
             order=(stale_epoch_tag(scenario.epoch), scenario.epoch)
         )
-        return ModelManager(
+        return ModelWriter(
             switches,
             layout,
             validation=policy,

@@ -112,7 +112,7 @@ def derive_verdicts(
     """Loop + requirement verdicts for an engine with no checker of its own.
 
     Shared by the differential runner (deltanet/apkeep/oracle rows) and
-    the chaos runner (supervised ModelManager rows): a requirement is
+    the chaos runner (supervised ModelWriter rows): a requirement is
     VIOLATED when any source fails to deliver part of its packet space.
     """
     loop_verdict = (
@@ -244,20 +244,17 @@ class DifferentialRunner:
         per_device: Dict[int, List] = {d: [] for d in switches}
         for update in scenario.updates:
             per_device[update.device].append(update)
+        # Consume Flash strictly through the QueryableVerifier protocol so
+        # the difftest exercises the exact facade repro.serve is built on.
         for device in scenario.order:
-            flash.receive(device, scenario.epoch, per_device[device])
+            flash.ingest(device, per_device[device], epoch=scenario.epoch)
         for report in flash.dispatcher.reports:
             if isinstance(report, LoopReport):
                 run.loop_verdict = report.verdict
             elif isinstance(report, VerificationReport):
                 run.verdicts[report.requirement] = report.verdict
-        group = flash.dispatcher.verifier_for(scenario.epoch)
-        if group is None or not group.members:
-            raise RuntimeError(f"no verifier for epoch {scenario.epoch!r}")
-        manager = group.members[0].manager
-        run.view = view_from_inverse_model(
-            name, comparison, manager.model, switches
-        )
+        view = flash.read_view(scenario.epoch)
+        run.view = view_from_inverse_model(name, comparison, view, switches)
 
     # ------------------------------------------------------------------
     def _diff_views(

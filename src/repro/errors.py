@@ -93,3 +93,23 @@ class DispatchError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event routing simulation hit an inconsistent state."""
+
+
+class ServeError(ReproError):
+    """Base class for ``repro.serve`` daemon errors."""
+
+
+class ServeSaturatedError(ServeError):
+    """Backpressure: the ingest queue is full and the submit timed out.
+
+    Producers should slow down (or shed load) and retry; the daemon
+    keeps serving queries against the snapshots it already published.
+    """
+
+
+class ServeClosedError(ServeError):
+    """The daemon is draining or stopped and accepts no new work."""
+
+
+class SnapshotUnavailableError(ServeError):
+    """The requested snapshot epoch was never published or is retired."""

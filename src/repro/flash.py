@@ -15,10 +15,21 @@ For offline/one-shot use (validating simulated FIBs, Figure 6 style) use
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from .ce2d.dispatcher import CE2DDispatcher
 from .ce2d.verifier import SubspaceVerifier
+from .core.model_manager import ModelReadView
 from .core.rule_index import matches_intersect
 from .core.subspace import Subspace, SubspacePartition
 from .dataplane.update import EpochTag, RuleUpdate
@@ -27,6 +38,44 @@ from .network.topology import Topology
 from .results import Report, Verdict
 from .spec.requirement import Requirement
 from .telemetry import Telemetry, TelemetryConfig
+
+
+@runtime_checkable
+class QueryableVerifier(Protocol):
+    """The one facade every consumer of a verifier speaks.
+
+    Historically this repo grew two divergent ``receive()`` doors —
+    :meth:`Flash.receive` (device, *epoch*, updates, now) and the
+    :meth:`SubspaceVerifier.receive` / :meth:`EpochGroupVerifier.receive`
+    shape (device, updates, now) — which forced every caller (offline
+    verification, difftest, and now ``repro.serve``) to know which layer
+    it was holding.  ``QueryableVerifier`` is the unified contract:
+
+    * :meth:`ingest` — one epoch-aware ingestion door.  Implementations
+      that are pinned to an epoch (subspace/epoch-group verifiers)
+      ignore the ``epoch`` argument; the epoch-routing :class:`Flash`
+      facade uses it to dispatch.
+    * :meth:`read_view` — the current consistent model as a
+      snapshot-pinned :class:`~repro.core.model_manager.ModelReadView`.
+    * :meth:`deterministic_reports` — the non-UNKNOWN verdicts so far.
+
+    ``repro.serve`` daemons, :meth:`Flash.verify_offline` and the
+    differential runner all consume exactly this protocol, so the
+    serving and batch paths cannot drift apart.
+    """
+
+    def ingest(
+        self,
+        device: int,
+        updates: Sequence[RuleUpdate],
+        *,
+        epoch: Optional[EpochTag] = None,
+        now: Optional[float] = None,
+    ) -> List[Report]: ...
+
+    def read_view(self) -> ModelReadView: ...
+
+    def deterministic_reports(self) -> List[Report]: ...
 
 
 class EpochGroupVerifier:
@@ -120,6 +169,29 @@ class EpochGroupVerifier:
         self.reports.extend(results)
         return results
 
+    # -- QueryableVerifier --------------------------------------------------
+    def ingest(
+        self,
+        device: int,
+        updates: Sequence[RuleUpdate],
+        *,
+        epoch: Optional[EpochTag] = None,
+        now: Optional[float] = None,
+    ) -> List[Report]:
+        """Unified ingestion door; this group is pinned, ``epoch`` ignored."""
+        return self.receive(device, updates, now=now)
+
+    def read_view(self) -> ModelReadView:
+        """The first member's current model, snapshot-pinned.
+
+        Multi-subspace groups expose the first subspace's model here;
+        per-subspace consumers should walk :attr:`members` and call each
+        verifier's own :meth:`~SubspaceVerifier.read_view`.
+        """
+        if not self.members:
+            raise ValueError("epoch group has no subspace verifiers")
+        return self.members[0].read_view()
+
     @property
     def num_synced(self) -> int:
         return self.members[0].num_synced if self.members else 0
@@ -156,7 +228,7 @@ class Flash:
         # differential tester can cross-check both facade paths.
         self.block_threshold = block_threshold
         # Supervised-ingestion knobs threaded down to every subspace
-        # verifier's ModelManager (repro.resilience).
+        # verifier's ModelWriter (repro.resilience).
         self.validation = validation
         self.recovery = recovery
         if telemetry is None:
@@ -196,6 +268,39 @@ class Flash:
         """Ingest one epoch-tagged update batch from a device agent."""
         return self.dispatcher.receive(device, epoch, updates, now=now)
 
+    # -- QueryableVerifier --------------------------------------------------
+    def ingest(
+        self,
+        device: int,
+        updates: Sequence[RuleUpdate],
+        *,
+        epoch: Optional[EpochTag] = None,
+        now: Optional[float] = None,
+    ) -> List[Report]:
+        """The unified ingestion door (:class:`QueryableVerifier`).
+
+        ``epoch=None`` means "the offline epoch" — batch consumers that do
+        not care about CE2D epochs get a stable default instead of having
+        to invent a tag.
+        """
+        tag: EpochTag = epoch if epoch is not None else "offline"
+        return self.dispatcher.receive(device, tag, updates, now=now)
+
+    def read_view(self, epoch: Optional[EpochTag] = None) -> ModelReadView:
+        """A snapshot-pinned view of the model at ``epoch``.
+
+        With ``epoch=None`` the most recently created live epoch group is
+        used (the group receiving ingest right now).
+        """
+        group = self.dispatcher.latest_verifier(epoch)
+        if group is None:
+            raise ValueError(
+                "no live epoch group to read from"
+                if epoch is None
+                else f"no live epoch group for epoch {epoch!r}"
+            )
+        return group.read_view()
+
     def attach_to(self, simulation) -> None:
         """Subscribe to an :class:`~repro.routing.openr.OpenRSimulation`."""
         simulation.add_collector(
@@ -210,9 +315,9 @@ class Flash:
     ) -> List[Report]:
         """Verify one complete data plane (all devices synchronised).
 
-        Updates are grouped per device and fed as one epoch; devices with no
-        updates are synchronised with empty batches so verdicts become
-        deterministic.
+        Updates are grouped per device and fed through the unified
+        :meth:`ingest` door as one epoch; devices with no updates are
+        synchronised with empty batches so verdicts become deterministic.
         """
         per_device: Dict[int, List[RuleUpdate]] = {
             d: [] for d in self.topology.switches()
@@ -221,7 +326,7 @@ class Flash:
             per_device.setdefault(u.device, []).append(u)
         reports: List[Report] = []
         for device, batch in per_device.items():
-            reports = self.receive(device, epoch, batch)
+            reports = self.ingest(device, batch, epoch=epoch)
         return reports
 
     # -- results ----------------------------------------------------------------

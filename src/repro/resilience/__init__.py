@@ -13,7 +13,7 @@ self-checking in ``repro.difftest``:
   and repair policies (``resilience.quarantined.*`` /
   ``resilience.repaired.*`` telemetry);
 * :class:`ModelCheckpoint` — cheap installed-rule-journal snapshots
-  behind :meth:`ModelManager.checkpoint` / ``rollback`` and the
+  behind :meth:`ModelWriter.checkpoint` / ``rollback`` and the
   incremental→batch fallback (``resilience.fallback.*``);
 * :class:`FailedSubspace` / :class:`RetryPolicy` /
   :class:`WorkerFaultSpec` — per-task supervision records for the

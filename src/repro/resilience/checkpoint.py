@@ -6,7 +6,7 @@ Python objects, no predicate state.  Restoring one is a *batch
 recompute*: rebuild a fresh inverse model and replay the journal as one
 insert block, which is exactly the graceful-degradation path a
 corrupted incremental state falls back to
-(:meth:`repro.core.model_manager.ModelManager.rollback`).
+(:meth:`repro.core.model_manager.ModelWriter.rollback`).
 """
 
 from __future__ import annotations

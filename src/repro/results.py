@@ -5,9 +5,6 @@ Every verification surface — ``Flash.verify_offline``, a standalone
 and the benchmark harness — reports results through the types in this
 module, and every report serialises through the same ``as_dict()``
 contract consumed by exporters and the harness.
-
-The canonical definitions live here; ``repro.ce2d.results`` remains as a
-deprecated alias module for the historical import path.
 """
 
 from __future__ import annotations

@@ -1,0 +1,364 @@
+"""The long-lived verification daemon: one writer, many readers.
+
+:class:`ServeDaemon` turns the batch verifier into a service:
+
+* **ingest** — one writer thread consumes a *bounded* queue of update
+  batches and feeds them through a :class:`~repro.flash.
+  QueryableVerifier` (by default a :class:`~repro.ce2d.verifier.
+  SubspaceVerifier` whose :class:`~repro.core.model_manager.ModelWriter`
+  runs the supervised-ingestion path of ``repro.resilience``).  Every
+  applied batch advances the **serve epoch** and publishes a snapshot.
+* **serve** — a thread pool answers :mod:`~repro.serve.queries` against
+  pinned snapshots, consulting the epoch-keyed
+  :class:`~repro.serve.cache.ResultCache` first.
+* **backpressure** — a full ingest queue rejects producers with
+  :class:`~repro.errors.ServeSaturatedError` instead of buffering
+  unboundedly; queries keep being answered from published snapshots.
+* **drain** — :meth:`drain` stops intake, finishes every queued batch,
+  and returns once the model is quiescent; :meth:`close` additionally
+  stops the workers.
+
+Consistency contract: a query is answered entirely against the snapshot
+it pinned (serve epoch ``N`` = the model after exactly the first ``N``
+ingested batches), so its answer equals the batch oracle's answer at
+``N`` — the invariant ``repro.serve.load`` and ``bench_serve`` assert
+for every mid-storm query.  See ``docs/serve.md``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..ce2d.verifier import SubspaceVerifier
+from ..dataplane.update import EpochTag, RuleUpdate
+from ..errors import ServeClosedError, ServeSaturatedError
+from ..flash import QueryableVerifier
+from ..headerspace.fields import HeaderLayout
+from ..network.topology import Topology
+from ..telemetry import Telemetry
+from .cache import ResultCache
+from .queries import Query, QueryAnswer
+from .snapshots import SnapshotStore, isolate_view
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One served answer plus its serving metadata."""
+
+    query: Query
+    answer: QueryAnswer
+    epoch: int  # the serve epoch the answer was pinned at
+    cached: bool
+    seconds: float
+
+
+@dataclass(frozen=True)
+class IngestFailure:
+    """One batch the writer could not apply (kept for inspection)."""
+
+    error: str
+    updates: int
+
+
+class ServeDaemon:
+    """Snapshot-isolated verification-as-a-service.
+
+    Parameters
+    ----------
+    verifier:
+        Any :class:`~repro.flash.QueryableVerifier`; defaults to a
+        fresh :class:`~repro.ce2d.verifier.SubspaceVerifier` with the
+        given ``validation`` policy (``repair`` recommended for
+        long-lived daemons: poisoned updates are canonicalised or
+        quarantined instead of wedging the writer).
+    isolation:
+        ``"copy"`` (default) re-hosts every published snapshot in its
+        own BDD engine via the FBW1 wire path — readers never touch the
+        writer's engine.  ``"shared"`` publishes views on the writer's
+        engine and serialises queries with flushes on one lock.
+    queue_size:
+        Ingest backpressure bound: producers hitting a full queue get
+        :class:`~repro.errors.ServeSaturatedError`.
+    keep_snapshots / cache_size:
+        Retention of published model versions and of cached answers.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        layout: HeaderLayout,
+        *,
+        verifier: Optional[QueryableVerifier] = None,
+        validation: str = "repair",
+        isolation: str = "copy",
+        queue_size: int = 64,
+        workers: int = 4,
+        cache_size: int = 4096,
+        keep_snapshots: int = 4,
+        block_threshold: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if isolation not in ("copy", "shared"):
+            raise ValueError(f"unknown isolation mode {isolation!r}")
+        self.topology = topology
+        self.layout = layout
+        self.isolation = isolation
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if verifier is None:
+            verifier = SubspaceVerifier(
+                topology,
+                layout,
+                epoch="serve",
+                check_loops=False,
+                block_threshold=block_threshold,
+                telemetry=self.telemetry,
+                validation=validation,
+            )
+        if not isinstance(verifier, QueryableVerifier):
+            raise TypeError(
+                f"{type(verifier).__name__} does not satisfy QueryableVerifier"
+            )
+        self.verifier = verifier
+        self._snapshots = SnapshotStore(
+            keep=keep_snapshots, telemetry=self.telemetry
+        )
+        self._cache = ResultCache(cache_size, telemetry=self.telemetry)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._workers = workers
+        self._model_lock = threading.RLock()  # writer vs shared-mode readers
+        self._state_lock = threading.Lock()
+        self._applied = 0  # serve epoch = number of applied batches
+        self._started = False
+        self._draining = False
+        self._closed = False
+        self._ingest_thread: Optional[threading.Thread] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.failures: List[IngestFailure] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ServeDaemon":
+        with self._state_lock:
+            if self._closed:
+                raise ServeClosedError("daemon already closed")
+            if self._started:
+                return self
+            self._started = True
+        self._publish(self.verifier.read_view())  # epoch 0: the empty model
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="serve-query"
+        )
+        self._ingest_thread = threading.Thread(
+            target=self._ingest_loop, name="serve-ingest", daemon=True
+        )
+        self._ingest_thread.start()
+        self.telemetry.count("serve.started")
+        return self
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def drain(self) -> None:
+        """Stop intake, apply everything already queued, return quiescent.
+
+        Queries remain served (against the final snapshot) after a
+        drain; only update intake is shut.
+        """
+        with self._state_lock:
+            self._draining = True
+        with self.telemetry.span("serve.drain"):
+            self._queue.join()
+        self.telemetry.count("serve.drained")
+
+    def close(self) -> None:
+        """Drain, then stop the writer thread and the query pool."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+        if self._ingest_thread is not None:
+            self._queue.join()
+            self._queue.put(_STOP)
+            self._ingest_thread.join()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self.telemetry.count("serve.closed")
+
+    # -- ingest (the writer side) --------------------------------------
+    def submit_updates(
+        self,
+        updates: Sequence[RuleUpdate],
+        *,
+        epoch: Optional[EpochTag] = None,
+        timeout: float = 0.0,
+    ) -> None:
+        """Enqueue one batch; applying it will advance the serve epoch.
+
+        ``timeout`` is how long to wait for queue space before raising
+        :class:`~repro.errors.ServeSaturatedError` (0 = fail fast).
+        """
+        if not self._started:
+            raise ServeClosedError("daemon is not started")
+        if self._draining or self._closed:
+            raise ServeClosedError("daemon is draining; no new updates")
+        batch = list(updates)
+        try:
+            if timeout > 0:
+                self._queue.put((batch, epoch), timeout=timeout)
+            else:
+                self._queue.put_nowait((batch, epoch))
+        except queue.Full:
+            self.telemetry.count("serve.ingest.rejected")
+            raise ServeSaturatedError(
+                f"ingest queue full ({self._queue.maxsize} batches pending); "
+                f"retry after backoff"
+            ) from None
+        self.telemetry.registry.gauge("serve.queue.depth").set(
+            self._queue.qsize()
+        )
+
+    def _ingest_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            batch, tag = item
+            try:
+                self._apply(batch, tag)
+            except Exception as exc:  # noqa: BLE001 - one bad batch must
+                # not kill the writer thread; the daemon keeps serving
+                # the last good snapshot (strict-mode validation errors
+                # and invariant trips land here).
+                self.failures.append(
+                    IngestFailure(f"{type(exc).__name__}: {exc}", len(batch))
+                )
+                self.telemetry.count("serve.ingest.failed")
+            finally:
+                self._queue.task_done()
+                self.telemetry.registry.gauge("serve.queue.depth").set(
+                    self._queue.qsize()
+                )
+
+    def _apply(self, batch: List[RuleUpdate], tag: Optional[EpochTag]) -> None:
+        with self.telemetry.span("serve.ingest.apply"):
+            with self._model_lock:
+                for device, updates in self._group_by_device(batch):
+                    self.verifier.ingest(device, updates, epoch=tag)
+                view = self.verifier.read_view()
+        self.telemetry.count("serve.ingest.batches")
+        self.telemetry.count("serve.ingest.updates", len(batch))
+        self._publish(view)
+
+    def _publish(self, view) -> None:
+        with self.telemetry.span("serve.snapshot.capture"):
+            if self.isolation == "copy":
+                self._snapshots.publish(self._applied, isolate_view(view))
+            else:
+                # Shared engine: every reader serialises with the writer.
+                self._snapshots.publish(
+                    self._applied, view, lock=self._model_lock
+                )
+        self.telemetry.registry.gauge("serve.epoch").set(self._applied)
+        self._applied += 1
+        self._cache.evict_below(self._snapshots.oldest_epoch())
+
+    @staticmethod
+    def _group_by_device(
+        batch: Sequence[RuleUpdate],
+    ) -> List[Tuple[int, List[RuleUpdate]]]:
+        """Split a mixed batch per device, preserving arrival order."""
+        order: List[int] = []
+        groups: Dict[int, List[RuleUpdate]] = {}
+        for update in batch:
+            if update.device not in groups:
+                order.append(update.device)
+                groups[update.device] = []
+            groups[update.device].append(update)
+        return [(device, groups[device]) for device in order]
+
+    # -- serve (the reader side) ---------------------------------------
+    def submit_query(
+        self, query: Query, *, epoch: Optional[int] = None
+    ) -> "Future[QueryResult]":
+        """Schedule a query; ``epoch=None`` pins the latest snapshot."""
+        if not self._started or self._executor is None:
+            raise ServeClosedError("daemon is not started")
+        if self._closed:
+            raise ServeClosedError("daemon is closed")
+        return self._executor.submit(self._execute, query, epoch)
+
+    def ask(self, query: Query, *, epoch: Optional[int] = None) -> QueryResult:
+        """Synchronous :meth:`submit_query`."""
+        return self.submit_query(query, epoch=epoch).result()
+
+    def _execute(self, query: Query, epoch: Optional[int]) -> QueryResult:
+        t0 = time.perf_counter()
+        snapshot = self._snapshots.pin(epoch)
+        try:
+            # cache_key compiles the scope → BDD ops → same lock as eval.
+            with snapshot.lock:
+                key = (snapshot.epoch,) + query.cache_key(snapshot.view)
+                answer = self._cache.get(key)
+                cached = answer is not None
+                if answer is None:
+                    with self.telemetry.span("serve.query.eval", kind=query.kind):
+                        answer = query.evaluate(snapshot.view, self.topology)
+                    self._cache.put(key, answer)
+        finally:
+            snapshot.unpin()
+        seconds = time.perf_counter() - t0
+        self.telemetry.count("serve.query.count")
+        self.telemetry.count(f"serve.query.kind.{query.kind}")
+        if cached:
+            self.telemetry.count("serve.query.cached")
+        self.telemetry.registry.histogram("serve.query.seconds").observe(seconds)
+        return QueryResult(query, answer, snapshot.epoch, cached, seconds)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def epoch(self) -> Optional[int]:
+        """The latest published serve epoch (None before :meth:`start`)."""
+        return self._snapshots.latest_epoch
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    @property
+    def snapshots(self) -> SnapshotStore:
+        return self._snapshots
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "queue_depth": self.queue_depth,
+            "snapshots_live": len(self._snapshots),
+            "cache_entries": len(self._cache),
+            "cache_hit_rate": self._cache.hit_rate,
+            "ingest_failures": len(self.failures),
+            "isolation": self.isolation,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeDaemon(epoch={self.epoch}, isolation={self.isolation!r}, "
+            f"queue={self.queue_depth}, cache={len(self._cache)})"
+        )
+
+
+__all__ = ["IngestFailure", "QueryResult", "ServeDaemon"]

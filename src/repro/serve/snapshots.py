@@ -1,0 +1,209 @@
+"""Snapshot-isolated model versions for the query daemon.
+
+CE2D's consistency argument applied to serving: the writer advances the
+model one ingested batch at a time, and every advance *publishes* an
+immutable :class:`~repro.core.model_manager.ModelReadView` under a
+monotonically increasing serve epoch.  Readers **pin** a snapshot (the
+latest, or an explicit epoch), evaluate against it, and unpin; a pinned
+snapshot is never retired, so a reader observes one consistent model
+version end to end no matter how far the writer gets in the meantime.
+
+Two isolation levels:
+
+``copy`` (:func:`isolate_view`)
+    the published view is re-hosted in a fresh
+    :class:`~repro.bdd.predicate.PredicateEngine` via the FBW1 wire
+    path, so query evaluation never touches the writer's engine — the
+    writer is never blocked by readers and vice versa.  Each snapshot
+    carries its own lock (BDD apply mutates engine-internal tables, so
+    two queries on the *same* snapshot still serialise).
+``shared``
+    the published view keeps the writer's engine; the daemon hands
+    every snapshot the single model lock, serialising queries with
+    flushes.  Cheaper per epoch, slower under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..bdd.predicate import PredicateEngine
+from ..core.model_manager import FrozenReadView, ModelReadView
+from ..errors import SnapshotUnavailableError
+from ..telemetry import Telemetry
+
+
+def isolate_view(view: ModelReadView) -> FrozenReadView:
+    """Re-host a read view in a fresh engine (the ``copy`` isolation).
+
+    The EC predicates (plus the universe) travel as one bulk FBW1
+    import, so the shared BDD DAG is walked once for the whole table.
+    Action vectors are ids into the append-only PAT store, which is
+    safely shared: the writer only ever appends new nodes.
+    """
+    entries = list(view.entries())
+    engine = PredicateEngine(view.layout.total_bits)
+    imported = engine.import_predicates(
+        [pred for pred, _ in entries] + [view.universe]
+    )
+    universe = imported[-1]
+    return FrozenReadView(
+        engine=engine,
+        layout=view.layout,
+        store=view.store,
+        devices=view.devices,
+        entries=list(zip(imported[:-1], (vec for _, vec in entries))),
+        epoch=view.epoch,
+        universe=universe,
+    )
+
+
+class Snapshot:
+    """One published model version: (serve epoch, read view, eval lock)."""
+
+    __slots__ = ("epoch", "view", "lock", "pins", "_store")
+
+    def __init__(
+        self,
+        epoch: int,
+        view: ModelReadView,
+        lock: threading.RLock,
+        store: "SnapshotStore",
+    ) -> None:
+        self.epoch = epoch
+        self.view = view
+        self.lock = lock
+        self.pins = 0
+        self._store = store
+
+    def unpin(self) -> None:
+        self._store._unpin(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unpin()
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(epoch={self.epoch}, pins={self.pins}, "
+            f"{self.view.num_ecs()} ECs)"
+        )
+
+
+class SnapshotStore:
+    """Publish/pin/retire of model versions, newest-wins.
+
+    The store keeps at most ``keep`` *unpinned* snapshots (newest
+    first); pinned snapshots survive retirement until their last reader
+    unpins, at which point retirement is re-attempted.  All operations
+    are thread-safe.
+    """
+
+    def __init__(self, keep: int = 4, telemetry: Optional[Telemetry] = None) -> None:
+        if keep < 1:
+            raise ValueError("SnapshotStore must keep at least one snapshot")
+        self.keep = keep
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._lock = threading.Lock()
+        self._by_epoch: Dict[int, Snapshot] = {}
+        self._order: List[int] = []  # publish order, oldest first
+        self._latest: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        epoch: int,
+        view: ModelReadView,
+        lock: Optional[threading.RLock] = None,
+    ) -> Snapshot:
+        """Install ``view`` as the snapshot for ``epoch`` (must be new)."""
+        snapshot = Snapshot(
+            epoch, view, lock if lock is not None else threading.RLock(), self
+        )
+        with self._lock:
+            if epoch in self._by_epoch or (
+                self._latest is not None and epoch <= self._latest
+            ):
+                raise ValueError(f"serve epoch {epoch} already published")
+            self._by_epoch[epoch] = snapshot
+            self._order.append(epoch)
+            self._latest = epoch
+            self._retire_locked()
+            self.telemetry.count("serve.snapshot.published")
+            self.telemetry.registry.gauge("serve.snapshots.live").set(
+                len(self._by_epoch)
+            )
+        return snapshot
+
+    def pin(self, epoch: Optional[int] = None) -> Snapshot:
+        """Pin the snapshot for ``epoch`` (latest when ``None``)."""
+        with self._lock:
+            target = self._latest if epoch is None else epoch
+            snapshot = (
+                self._by_epoch.get(target) if target is not None else None
+            )
+            if snapshot is None:
+                raise SnapshotUnavailableError(
+                    "no snapshot published yet"
+                    if target is None
+                    else f"snapshot epoch {target} is unknown or retired"
+                )
+            snapshot.pins += 1
+            return snapshot
+
+    def _unpin(self, snapshot: Snapshot) -> None:
+        with self._lock:
+            snapshot.pins -= 1
+            if snapshot.pins < 0:
+                raise AssertionError("snapshot unpinned more times than pinned")
+            self._retire_locked()
+
+    def _retire_locked(self) -> None:
+        """Drop the oldest unpinned snapshots beyond ``keep`` (never the
+        latest)."""
+        while len(self._order) > self.keep:
+            retired = False
+            for i, epoch in enumerate(self._order[:-1]):  # keep the latest
+                snapshot = self._by_epoch[epoch]
+                if snapshot.pins == 0:
+                    del self._by_epoch[epoch]
+                    del self._order[i]
+                    self.telemetry.count("serve.snapshot.retired")
+                    retired = True
+                    break
+            if not retired:
+                break  # everything old is pinned: let readers finish
+        self.telemetry.registry.gauge("serve.snapshots.live").set(
+            len(self._by_epoch)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def latest_epoch(self) -> Optional[int]:
+        with self._lock:
+            return self._latest
+
+    def oldest_epoch(self) -> Optional[int]:
+        with self._lock:
+            return self._order[0] if self._order else None
+
+    def live_epochs(self) -> List[int]:
+        with self._lock:
+            return list(self._order)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_epoch)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"SnapshotStore({len(self._by_epoch)} live, "
+                f"latest={self._latest}, keep={self.keep})"
+            )
+
+
+__all__ = ["Snapshot", "SnapshotStore", "isolate_view"]

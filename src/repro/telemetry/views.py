@@ -5,8 +5,7 @@ call-site-facing shapes the rest of the repo (and its tests/benchmarks)
 consume:
 
 * :class:`OpMetrics` — the stable public accessor for predicate-operation
-  counts (``engine.metrics``), replacing direct pokes at the old
-  ``engine.counter`` dataclass;
+  counts (``engine.metrics``);
 * :class:`PhaseBreakdown` — the Figure 11 MR2 phase decomposition,
   reimplemented as a snapshot over the ``span.mr2.*`` counters recorded
   by :class:`~repro.core.mr2.Mr2Pipeline` (it remains constructible by

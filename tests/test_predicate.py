@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bdd.predicate import OpCounter, Predicate, PredicateEngine
+from repro.bdd.predicate import Predicate, PredicateEngine
 
 
 @pytest.fixture()
@@ -89,14 +89,14 @@ class TestOpCounting:
         assert delta.conjunctions == 2
         assert delta.disjunctions == 0
 
-    def test_extra_counters(self):
-        c = OpCounter()
-        c.bump("atom_updates", 5)
-        c.bump("atom_updates")
-        assert c.extra["atom_updates"] == 6
-        snap = c.snapshot()
-        c.bump("atom_updates", 4)
-        assert c.diff(snap).extra["atom_updates"] == 4
+    def test_extra_counters(self, engine):
+        m = engine.metrics
+        m.bump("atom_updates", 5)
+        m.bump("atom_updates")
+        assert m.extra["atom_updates"] == 6
+        snap = m.snapshot()
+        m.bump("atom_updates", 4)
+        assert m.diff(snap).extra["atom_updates"] == 4
 
     def test_cube_counts_one_conjunction(self, engine):
         engine.metrics.reset()

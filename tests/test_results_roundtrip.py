@@ -1,6 +1,4 @@
-"""The ``as_dict`` contract round-trips, and the legacy shims warn."""
-
-import warnings
+"""The ``as_dict`` contract round-trips, and the legacy shims are gone."""
 
 import pytest
 
@@ -72,40 +70,22 @@ class TestReportRoundTrip:
             report_from_dict({"kind": "mystery"})
 
 
-class TestDeprecationShims:
-    def _collect(self, access):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            value = access()
-        deprecations = [
-            w for w in record if issubclass(w.category, DeprecationWarning)
-        ]
-        return value, deprecations
+class TestShimsRemoved:
+    """The PR 1 alias modules are gone; the canonical paths answer."""
 
-    def test_ce2d_results_warns_exactly_once(self):
-        from repro.ce2d import results as shim
+    def test_ce2d_results_module_removed(self):
+        with pytest.raises(ImportError):
+            import repro.ce2d.results  # noqa: F401
 
-        for name in ("Verdict", "VerificationReport", "LoopReport"):
-            value, deprecations = self._collect(lambda: getattr(shim, name))
-            assert len(deprecations) == 1, name
-            assert "repro.results" in str(deprecations[0].message)
-            import repro.results
+    def test_core_stats_module_removed(self):
+        with pytest.raises(ImportError):
+            import repro.core.stats  # noqa: F401
 
-            assert value is getattr(repro.results, name)
+    def test_canonical_homes_answer(self):
+        import repro.results
+        import repro.telemetry
 
-    def test_core_stats_warns_exactly_once(self):
-        from repro.core import stats as shim
-
+        for name in ("Verdict", "VerificationReport", "LoopReport", "Report"):
+            assert hasattr(repro.results, name), name
         for name in ("Stopwatch", "PhaseBreakdown"):
-            value, deprecations = self._collect(lambda: getattr(shim, name))
-            assert len(deprecations) == 1, name
-            assert "repro.telemetry" in str(deprecations[0].message)
-            import repro.telemetry
-
-            assert value is getattr(repro.telemetry, name)
-
-    def test_unknown_attribute_raises(self):
-        from repro.ce2d import results as shim
-
-        with pytest.raises(AttributeError):
-            shim.DoesNotExist  # noqa: B018
+            assert hasattr(repro.telemetry, name), name

@@ -1,0 +1,507 @@
+"""Tests for repro.serve: the snapshot-isolated query daemon.
+
+Covers the concurrency contract end to end — pinned readers stay on
+their model version while the writer advances, the epoch-keyed cache
+can only ever go stale-but-correct, drain under backpressure leaves the
+daemon quiescent but still answering — plus the query semantics, the
+copy-isolation engine re-host, the snapshot store's retire rules, and
+the QueryableVerifier protocol the daemon is generic over.
+"""
+
+import threading
+
+import pytest
+
+from repro.ce2d.verifier import SubspaceVerifier
+from repro.core.model_manager import ModelManager, ModelWriter
+from repro.dataplane.rule import Rule
+from repro.dataplane.update import delete, insert
+from repro.errors import (
+    ServeClosedError,
+    ServeSaturatedError,
+    SnapshotUnavailableError,
+)
+from repro.flash import EpochGroupVerifier, Flash, QueryableVerifier
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.generators import line
+from repro.network.topology import Topology
+from repro.serve import (
+    BatchOracle,
+    LoopQuery,
+    QueryAnswer,
+    ReachabilityQuery,
+    ResultCache,
+    ServeDaemon,
+    SnapshotStore,
+    WaypointQuery,
+    build_workload,
+    isolate_view,
+    reaches_external_avoiding,
+    run_load,
+)
+
+LAYOUT = dst_only_layout(8)
+SPACE = 1 << 8
+
+
+def diamond():
+    """S fans out to W (the waypoint) and B (the bypass), both exit to X."""
+    topo = Topology("diamond")
+    s = topo.add_device("S")
+    w = topo.add_device("W")
+    b = topo.add_device("B")
+    x = topo.add_external("X")
+    topo.add_link(s, w)
+    topo.add_link(s, b)
+    topo.add_link(w, x)
+    topo.add_link(b, x)
+    return topo, s, w, b, x
+
+
+def view_of(topo, batches, validation="repair"):
+    """A read view after replaying ``batches`` through a plain writer."""
+    writer = ModelWriter(topo.switches(), LAYOUT, validation=validation)
+    for batch in batches:
+        writer.submit(batch)
+        writer.flush()
+    return writer.read_view()
+
+
+def exit_rules(topo, s, w, b, x):
+    """Full delivery through the waypoint: S→W→X, B→X."""
+    return [
+        insert(s, Rule(1, Match.wildcard(), w)),
+        insert(w, Rule(1, Match.wildcard(), x)),
+        insert(b, Rule(1, Match.wildcard(), x)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The QueryableVerifier protocol (satellite: one receive facade)
+# ----------------------------------------------------------------------
+
+class TestQueryableVerifier:
+    def test_flash_conforms(self):
+        topo, *_ = diamond()
+        assert isinstance(Flash(topo, LAYOUT), QueryableVerifier)
+
+    def test_subspace_verifier_conforms(self):
+        topo, *_ = diamond()
+        verifier = SubspaceVerifier(topo, LAYOUT, epoch="e")
+        assert isinstance(verifier, QueryableVerifier)
+
+    def test_epoch_group_verifier_conforms(self):
+        topo, *_ = diamond()
+        group = EpochGroupVerifier(
+            topo, LAYOUT, None, (), check_loops=False, use_dgq=True
+        )
+        assert isinstance(group, QueryableVerifier)
+
+    def test_arbitrary_object_does_not_conform(self):
+        assert not isinstance(object(), QueryableVerifier)
+
+    def test_ingest_then_read_view_sees_the_model(self):
+        topo, s, w, b, x = diamond()
+        flash = Flash(topo, LAYOUT, check_loops=False, validation="repair")
+        flash.ingest(s, [insert(s, Rule(1, Match.wildcard(), w))])
+        view = flash.read_view()
+        assert view.num_ecs() >= 1
+
+
+# ----------------------------------------------------------------------
+# Query semantics against hand-built views
+# ----------------------------------------------------------------------
+
+class TestQueries:
+    def test_reachability_holds_on_full_path(self):
+        topo, s, w, b, x = diamond()
+        view = view_of(topo, [exit_rules(topo, s, w, b, x)])
+        answer = ReachabilityQuery(s).evaluate(view, topo)
+        assert answer == QueryAnswer(holds=True, headers=SPACE)
+
+    def test_reachability_fails_on_empty_model(self):
+        topo, s, *_ = diamond()
+        view = view_of(topo, [])
+        answer = ReachabilityQuery(s).evaluate(view, topo)
+        assert answer == QueryAnswer(holds=False, headers=0)
+
+    def test_scoped_reachability_counts_only_the_scope(self):
+        topo, s, w, b, x = diamond()
+        view = view_of(topo, [exit_rules(topo, s, w, b, x)])
+        scope = Match.dst_prefix(0, 1, LAYOUT)  # half the space
+        answer = ReachabilityQuery(s, scope).evaluate(view, topo)
+        assert answer == QueryAnswer(holds=True, headers=SPACE // 2)
+
+    def test_loop_detected_with_exact_measure(self):
+        topo = line(2)
+        half = Match.dst_prefix(0, 1, LAYOUT)
+        batch = [
+            insert(0, Rule(1, half, 1)),
+            insert(1, Rule(1, half, 0)),
+        ]
+        view = view_of(topo, [batch])
+        answer = LoopQuery().evaluate(view, topo)
+        assert answer == QueryAnswer(holds=False, headers=SPACE // 2)
+        # Scoped to the other half, the loop is out of scope.
+        other = Match.dst_prefix(1 << 7, 1, LAYOUT)
+        assert LoopQuery(other).evaluate(view, topo) == QueryAnswer(
+            holds=True, headers=0
+        )
+
+    def test_waypoint_holds_then_bypass_breaks_it(self):
+        topo, s, w, b, x = diamond()
+        through = exit_rules(topo, s, w, b, x)
+        view = view_of(topo, [through])
+        assert WaypointQuery(s, w).evaluate(view, topo) == QueryAnswer(
+            holds=True, headers=0
+        )
+        # Re-route half the space around the waypoint.
+        bypass = insert(s, Rule(10, Match.dst_prefix(0, 1, LAYOUT), b))
+        view = view_of(topo, [through, [bypass]])
+        answer = WaypointQuery(s, w).evaluate(view, topo)
+        assert answer == QueryAnswer(holds=False, headers=SPACE // 2)
+
+    def test_avoiding_walk_from_the_waypoint_itself(self):
+        # A walk starting at the waypoint trivially traverses it, no
+        # matter what the FIB says (action_of is never consulted).
+        topo, s, w, b, x = diamond()
+        assert not reaches_external_avoiding(topo, lambda d: None, w, w)
+
+    def test_cache_key_is_stable_and_scope_sensitive(self):
+        topo, s, w, b, x = diamond()
+        view = view_of(topo, [exit_rules(topo, s, w, b, x)])
+        q1 = ReachabilityQuery(s, Match.dst_prefix(0, 2, LAYOUT))
+        q2 = ReachabilityQuery(s, Match.dst_prefix(1 << 6, 2, LAYOUT))
+        assert q1.cache_key(view) == q1.cache_key(view)
+        assert q1.cache_key(view) != q2.cache_key(view)
+        assert q1.cache_key(view) != LoopQuery(q1.scope).cache_key(view)
+
+
+# ----------------------------------------------------------------------
+# Copy isolation: the re-hosted view answers identically
+# ----------------------------------------------------------------------
+
+class TestIsolateView:
+    def test_isolated_view_answers_equal_originals(self):
+        topo, s, w, b, x = diamond()
+        view = view_of(topo, [exit_rules(topo, s, w, b, x)])
+        isolated = isolate_view(view)
+        assert isolated.engine is not view.engine
+        for query in (
+            ReachabilityQuery(s),
+            ReachabilityQuery(s, Match.dst_prefix(3, 3, LAYOUT)),
+            LoopQuery(),
+            WaypointQuery(s, w),
+        ):
+            assert query.evaluate(isolated, topo) == query.evaluate(view, topo)
+
+    def test_isolated_universe_measure_preserved(self):
+        topo, s, w, b, x = diamond()
+        view = view_of(topo, [exit_rules(topo, s, w, b, x)])
+        isolated = isolate_view(view)
+        assert isolated.universe.sat_count() == view.universe.sat_count()
+        assert isolated.num_ecs() == view.num_ecs()
+
+
+# ----------------------------------------------------------------------
+# SnapshotStore: publish / pin / retire
+# ----------------------------------------------------------------------
+
+class TestSnapshotStore:
+    def _view(self):
+        topo, s, w, b, x = diamond()
+        return view_of(topo, [])
+
+    def test_epochs_must_increase(self):
+        store = SnapshotStore(keep=2)
+        view = self._view()
+        store.publish(0, view)
+        store.publish(1, view)
+        with pytest.raises(ValueError):
+            store.publish(1, view)
+        with pytest.raises(ValueError):
+            store.publish(0, view)
+
+    def test_pin_latest_and_explicit(self):
+        store = SnapshotStore(keep=4)
+        view = self._view()
+        store.publish(0, view)
+        store.publish(1, view)
+        assert store.pin().epoch == 1
+        assert store.pin(0).epoch == 0
+        with pytest.raises(SnapshotUnavailableError):
+            store.pin(7)
+
+    def test_empty_store_pin_raises(self):
+        with pytest.raises(SnapshotUnavailableError):
+            SnapshotStore().pin()
+
+    def test_retire_keeps_newest_unpinned(self):
+        store = SnapshotStore(keep=2)
+        view = self._view()
+        for epoch in range(5):
+            store.publish(epoch, view)
+        assert store.live_epochs() == [3, 4]
+        assert store.latest_epoch == 4
+
+    def test_pinned_snapshot_survives_retirement(self):
+        store = SnapshotStore(keep=1)
+        view = self._view()
+        store.publish(0, view)
+        pinned = store.pin(0)
+        for epoch in range(1, 4):
+            store.publish(epoch, view)
+        # Epoch 0 outlived the keep bound because a reader holds it.
+        assert 0 in store.live_epochs()
+        pinned.unpin()
+        assert store.live_epochs() == [3]
+
+    def test_context_manager_unpins(self):
+        store = SnapshotStore(keep=1)
+        store.publish(0, self._view())
+        with store.pin(0) as snapshot:
+            assert snapshot.pins == 1
+        assert snapshot.pins == 0
+
+
+# ----------------------------------------------------------------------
+# ResultCache: epoch-keyed LRU
+# ----------------------------------------------------------------------
+
+class TestResultCache:
+    KEY0 = (0, "reach", (1,), 123, 45)
+    KEY1 = (1, "reach", (1,), 123, 45)
+
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(8)
+        assert cache.get(self.KEY0) is None
+        cache.put(self.KEY0, QueryAnswer(True, 7))
+        assert cache.get(self.KEY0) == QueryAnswer(True, 7)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_evict_below_sweeps_old_epochs_only(self):
+        cache = ResultCache(8)
+        cache.put(self.KEY0, QueryAnswer(True, 1))
+        cache.put(self.KEY1, QueryAnswer(False, 2))
+        assert cache.evict_below(1) == 1
+        assert cache.get(self.KEY0) is None
+        assert cache.get(self.KEY1) == QueryAnswer(False, 2)
+
+    def test_lru_bound(self):
+        cache = ResultCache(2)
+        for i in range(4):
+            cache.put((0, "reach", (i,), 0, i), QueryAnswer(True, i))
+        assert len(cache) == 2
+        assert cache.evictions == 2
+        # The oldest entries went first.
+        assert cache.get((0, "reach", (0,), 0, 0)) is None
+        assert cache.get((0, "reach", (3,), 0, 3)) is not None
+
+
+# ----------------------------------------------------------------------
+# The daemon: lifecycle, isolation, backpressure, drain
+# ----------------------------------------------------------------------
+
+class TestServeDaemon:
+    def _daemon(self, **kwargs):
+        topo, s, w, b, x = diamond()
+        kwargs.setdefault("validation", "repair")
+        return ServeDaemon(topo, LAYOUT, **kwargs), (topo, s, w, b, x)
+
+    def test_rejects_non_queryable_verifier(self):
+        topo, *_ = diamond()
+        with pytest.raises(TypeError):
+            ServeDaemon(topo, LAYOUT, verifier=object())
+
+    def test_rejects_unknown_isolation(self):
+        topo, *_ = diamond()
+        with pytest.raises(ValueError):
+            ServeDaemon(topo, LAYOUT, isolation="mvcc")
+
+    def test_queries_before_start_raise(self):
+        daemon, (topo, s, *_ ) = self._daemon()
+        with pytest.raises(ServeClosedError):
+            daemon.submit_query(ReachabilityQuery(s))
+        with pytest.raises(ServeClosedError):
+            daemon.submit_updates([])
+
+    def test_epoch_zero_is_the_empty_model(self):
+        daemon, (topo, s, *_rest) = self._daemon()
+        with daemon:
+            assert daemon.epoch == 0
+            result = daemon.ask(ReachabilityQuery(s))
+            assert result.epoch == 0
+            assert result.answer == QueryAnswer(holds=False, headers=0)
+
+    @pytest.mark.parametrize("isolation", ["copy", "shared"])
+    def test_epoch_advances_per_batch(self, isolation):
+        daemon, (topo, s, w, b, x) = self._daemon(isolation=isolation)
+        with daemon:
+            daemon.submit_updates(exit_rules(topo, s, w, b, x), timeout=10.0)
+            daemon.drain()
+            assert daemon.epoch == 1
+            result = daemon.ask(ReachabilityQuery(s))
+            assert result.epoch == 1
+            assert result.answer == QueryAnswer(holds=True, headers=SPACE)
+
+    @pytest.mark.parametrize("isolation", ["copy", "shared"])
+    def test_pinned_reader_is_stable_while_writer_advances(self, isolation):
+        daemon, (topo, s, w, b, x) = self._daemon(
+            isolation=isolation, keep_snapshots=8
+        )
+        base = exit_rules(topo, s, w, b, x)
+        churn = [insert(s, Rule(10, Match.dst_prefix(0, 1, LAYOUT), b))]
+        with daemon:
+            daemon.submit_updates(base, timeout=10.0)
+            daemon.drain()
+            before = daemon.ask(WaypointQuery(s, w), epoch=1)
+            assert before.answer == QueryAnswer(holds=True, headers=0)
+
+            # Advance the writer: half the space now bypasses W.
+            daemon._draining = False  # drain() only stops intake
+            daemon.submit_updates(churn, timeout=10.0)
+            daemon.drain()
+            assert daemon.epoch == 2
+
+            # A reader pinned at epoch 1 still sees the old model...
+            pinned = daemon.ask(WaypointQuery(s, w), epoch=1)
+            assert pinned.answer == QueryAnswer(holds=True, headers=0)
+            # ...while the latest snapshot has the violation.
+            latest = daemon.ask(WaypointQuery(s, w))
+            assert latest.epoch == 2
+            assert latest.answer == QueryAnswer(
+                holds=False, headers=SPACE // 2
+            )
+
+    def test_answers_match_batch_oracle_at_each_epoch(self):
+        daemon, (topo, s, w, b, x) = self._daemon(keep_snapshots=8)
+        base = exit_rules(topo, s, w, b, x)
+        churn = [insert(s, Rule(10, Match.dst_prefix(0, 1, LAYOUT), b))]
+        with daemon:
+            for batch in (base, churn):
+                daemon._draining = False
+                daemon.submit_updates(batch, timeout=10.0)
+                daemon.drain()
+            oracle = BatchOracle(topo, LAYOUT, [base, churn])
+            query = WaypointQuery(s, w)
+            for epoch in (1, 2):
+                served = daemon.ask(query, epoch=epoch)
+                expected = query.evaluate(oracle.view_at(epoch), topo)
+                assert served.answer == expected
+
+    def test_repeat_query_hits_the_cache_until_epoch_advances(self):
+        daemon, (topo, s, w, b, x) = self._daemon()
+        query = ReachabilityQuery(s)
+        with daemon:
+            daemon.submit_updates(exit_rules(topo, s, w, b, x), timeout=10.0)
+            daemon.drain()
+            first = daemon.ask(query)
+            again = daemon.ask(query)
+            assert not first.cached and again.cached
+            assert first.answer == again.answer
+
+            daemon._draining = False
+            daemon.submit_updates(
+                [insert(s, Rule(10, Match.dst_prefix(0, 1, LAYOUT), b))],
+                timeout=10.0,
+            )
+            daemon.drain()
+            fresh = daemon.ask(query)
+            # New epoch, new key: the cache cannot serve a stale answer.
+            assert fresh.epoch == 2 and not fresh.cached
+
+    def test_cache_entries_follow_retired_snapshots_out(self):
+        daemon, (topo, s, w, b, x) = self._daemon(keep_snapshots=1)
+        with daemon:
+            daemon.ask(ReachabilityQuery(s))  # cached at epoch 0
+            assert len(daemon.cache) == 1
+            daemon.submit_updates(exit_rules(topo, s, w, b, x), timeout=10.0)
+            daemon.drain()
+            daemon.ask(ReachabilityQuery(s))
+            # Epoch 0 was retired (keep=1), so its cache entry is swept.
+            assert all(key[0] >= 1 for key in daemon.cache._entries)
+            with pytest.raises(SnapshotUnavailableError):
+                daemon.ask(ReachabilityQuery(s), epoch=0)
+
+    def test_backpressure_saturates_then_drains(self):
+        daemon, (topo, s, w, b, x) = self._daemon(queue_size=1)
+        batch = exit_rules(topo, s, w, b, x)
+        with daemon:
+            # Hold the model lock so the writer blocks mid-apply; the
+            # queue then fills deterministically.
+            with daemon._model_lock:
+                daemon.submit_updates(batch)  # writer grabs it, blocks
+                deadline = 50
+                while daemon.queue_depth > 0 and deadline:
+                    threading.Event().wait(0.01)
+                    deadline -= 1
+                daemon.submit_updates(batch)  # sits in the queue
+                with pytest.raises(ServeSaturatedError):
+                    daemon.submit_updates(batch)
+            daemon.drain()
+            assert daemon.epoch == 2
+            assert daemon.queue_depth == 0
+            # Drain shut intake but queries still flow.
+            with pytest.raises(ServeClosedError):
+                daemon.submit_updates(batch)
+            assert daemon.ask(ReachabilityQuery(s)).answer.holds
+
+    def test_poisoned_batch_is_contained(self):
+        daemon, (topo, s, w, b, x) = self._daemon(validation="strict")
+        phantom = Rule(5, Match.wildcard(), w)
+        with daemon:
+            daemon.submit_updates([delete(s, phantom)], timeout=10.0)
+            daemon.drain()
+            assert len(daemon.failures) == 1
+            assert daemon.failures[0].updates == 1
+            # The writer survived and the model did not advance.
+            assert daemon.epoch == 0
+            assert daemon.stats()["ingest_failures"] == 1
+
+    def test_close_is_idempotent_and_final(self):
+        daemon, (topo, s, *_rest) = self._daemon()
+        daemon.start()
+        daemon.close()
+        daemon.close()
+        with pytest.raises(ServeClosedError):
+            daemon.submit_query(ReachabilityQuery(s))
+        with pytest.raises(ServeClosedError):
+            daemon.start()
+
+
+# ----------------------------------------------------------------------
+# Mid-storm consistency: the load harness's oracle check
+# ----------------------------------------------------------------------
+
+class TestMidStormOracle:
+    @pytest.mark.parametrize("isolation", ["copy", "shared"])
+    def test_concurrent_answers_equal_the_batch_oracle(self, isolation):
+        workload = build_workload(seed=11, quick=True)
+        workload.blocks = workload.blocks[:4]
+        workload.clients = 2
+        workload.queries_per_client = 8
+        result = run_load(
+            workload, seed=11, isolation=isolation, workers=2, queue_size=2
+        )
+        assert result.divergences == []
+        assert result.ingest_failures == 0
+        assert result.queries == 16
+        assert result.final_epoch == len(workload.blocks) + 1
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# The deprecated writer alias is still usable (one grace cycle left)
+# ----------------------------------------------------------------------
+
+class TestModelManagerAlias:
+    def test_model_manager_warns_but_works(self):
+        topo, s, w, b, x = diamond()
+        with pytest.warns(DeprecationWarning, match="ModelWriter"):
+            manager = ModelManager(topo.switches(), LAYOUT)
+        assert isinstance(manager, ModelWriter)
+        manager.submit([insert(s, Rule(1, Match.wildcard(), w))])
+        manager.flush()
+        assert manager.read_view().num_ecs() >= 1

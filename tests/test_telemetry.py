@@ -234,32 +234,39 @@ class TestExporters:
             assert name in text
 
 
-class TestDeprecationShims:
-    def test_old_stats_imports_warn_but_work(self):
-        import repro.core.stats as old_stats
+class TestShimsRemoved:
+    """The PR 1 deprecated paths were deleted after two PR cycles."""
 
-        with pytest.warns(DeprecationWarning):
-            cls = old_stats.PhaseBreakdown
-        assert cls is PhaseBreakdown
+    def test_old_stats_module_gone(self):
+        with pytest.raises(ImportError):
+            import repro.core.stats  # noqa: F401
 
-    def test_old_results_imports_warn_but_work(self):
-        import repro.ce2d.results as old_results
-        from repro.results import Verdict
+    def test_old_results_module_gone(self):
+        with pytest.raises(ImportError):
+            import repro.ce2d.results  # noqa: F401
 
-        with pytest.warns(DeprecationWarning):
-            v = old_results.Verdict
-        assert v is Verdict
-
-    def test_engine_counter_warns_and_tracks_registry(self):
+    def test_engine_counter_gone(self):
         from repro.bdd.predicate import PredicateEngine
 
         engine = PredicateEngine(4)
-        with pytest.warns(DeprecationWarning):
-            counter = engine.counter
+        with pytest.raises(AttributeError):
+            engine.counter  # noqa: B018
+        # The stable accessor keeps counting.
         _ = engine.variable(0) & engine.variable(1)
-        assert counter.conjunctions == engine.metrics.conjunctions == 1
-        counter.conjunctions = 5  # legacy writers still work
-        assert engine.metrics.conjunctions == 5
+        assert engine.metrics.conjunctions == 1
+
+    def test_baseline_counters_gone(self):
+        from repro.baselines.apkeep import APKeepVerifier
+        from repro.baselines.deltanet import DeltaNetVerifier
+        from repro.headerspace.fields import dst_only_layout
+
+        layout = dst_only_layout(4)
+        for verifier in (
+            APKeepVerifier([0], layout),
+            DeltaNetVerifier([0], layout),
+        ):
+            with pytest.raises(AttributeError):
+                verifier.counter  # noqa: B018
 
 
 class TestEndToEnd:
