@@ -21,7 +21,6 @@ from .datasets import DatasetBundle, load_bundle, save_bundle
 from .ce2d import CE2DDispatcher, SubspaceVerifier
 from .core import (
     FrozenReadView,
-    ModelManager,
     ModelReadView,
     ModelWriter,
     SubspacePartition,
@@ -70,7 +69,6 @@ __all__ = [
     "Report",
     "RunSummary",
     "FrozenReadView",
-    "ModelManager",
     "ModelReadView",
     "ModelWriter",
     "SubspacePartition",

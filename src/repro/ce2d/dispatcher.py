@@ -22,7 +22,7 @@ control-plane bugs creating epochs faster than they converge).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..dataplane.update import EpochTag, RuleUpdate
 from ..errors import DispatchError
@@ -75,7 +75,11 @@ class CE2DDispatcher:
         self.tracker = EpochTracker()
         self.verifiers: Dict[EpochTag, SubspaceVerifier] = {}
         self._logs: Dict[int, _DeviceLog] = {}
-        self._fed: Dict[EpochTag, Set[int]] = {}
+        # Per epoch: device -> number of log batches already fed to the
+        # verifier.  A device can report the same epoch more than once
+        # (per-update streaming, retried agents); later same-tag batches
+        # are fed as deltas instead of being dropped.
+        self._fed: Dict[EpochTag, Dict[int, int]] = {}
         # Open ``ce2d.epoch`` lifecycle spans, one per live verifier.
         self._epoch_spans: Dict[EpochTag, Span] = {}
         self.reports: List[Report] = []
@@ -123,7 +127,7 @@ class CE2DDispatcher:
                 verifier = self.factory(tag)
                 verifier.epoch = tag
                 self.verifiers[tag] = verifier
-                self._fed[tag] = set()
+                self._fed[tag] = {}
                 self.telemetry.count("ce2d.epoch.opened")
                 self.telemetry.registry.gauge("ce2d.verifiers.live").set(
                     len(self.verifiers)
@@ -133,13 +137,24 @@ class CE2DDispatcher:
                     self._epoch_spans[tag] = span
             fed = self._fed[tag]
             for device, log in self._logs.items():
-                if device in fed:
-                    continue
                 prefix = log.prefix_through(tag)
                 if prefix is None:
                     continue  # device has not reported this epoch yet
-                fed.add(device)
-                results.extend(verifier.receive(device, prefix[1], now=now))
+                next_index, combined = prefix
+                done = fed.get(device)
+                if done is None:
+                    # First sight of this device for the epoch: replay its
+                    # serialized stream from the beginning (FIB diffs).
+                    fed[device] = next_index
+                    results.extend(verifier.receive(device, combined, now=now))
+                elif next_index > done:
+                    # The device reported the same epoch again: feed only
+                    # the batches logged since the last drain.
+                    delta: List[RuleUpdate] = []
+                    for _, updates in log.batches[done:next_index]:
+                        delta.extend(updates)
+                    fed[device] = next_index
+                    results.extend(verifier.receive(device, delta, now=now))
         self.reports.extend(results)
         return results
 

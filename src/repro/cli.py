@@ -182,14 +182,40 @@ def cmd_analyze(args) -> int:
 
 
 def _fuzz_runners(args, telemetry) -> List:
-    """The (label, runner, save) triples one fuzz invocation cycles through."""
-    from .difftest import ChaosRunner, DifferentialRunner
-    from .difftest.corpus import save_chaos_case, save_scenario
+    """The (label, runner, save) triples one fuzz invocation cycles through.
+
+    ``save(shrunk, directory, result)`` persists a shrunk reproducer;
+    ``result`` is the shrunk scenario's DiffResult (the interleave saver
+    reads the minimised order out of its stats, the others ignore it).
+    """
+    from .difftest import ChaosRunner, DifferentialRunner, InterleaveRunner
+    from .difftest.corpus import (
+        save_chaos_case,
+        save_interleave_case,
+        save_scenario,
+    )
     from .resilience import FAULT_PROFILES
 
+    if args.interleave:
+        runner = InterleaveRunner(
+            telemetry=telemetry,
+            max_orders=args.max_orders,
+            block_tail=args.block_tail,
+        )
+
+        def save_interleave(shrunk, directory, result=None, runner=runner):
+            return save_interleave_case(
+                runner.case_for(shrunk, result), directory
+            )
+
+        return [("interleave", runner, save_interleave)]
     if not args.chaos:
         runner = DifferentialRunner(telemetry=telemetry)
-        return [("diff", runner, save_scenario)]
+
+        def save_diff(shrunk, directory, result=None):
+            return save_scenario(shrunk, directory)
+
+        return [("diff", runner, save_diff)]
     if args.fault_profile == "all":
         names = sorted(FAULT_PROFILES)
     else:
@@ -198,7 +224,7 @@ def _fuzz_runners(args, telemetry) -> List:
     for name in names:
         runner = ChaosRunner(profile=name, seed=args.seed, telemetry=telemetry)
 
-        def save(shrunk, directory, runner=runner):
+        def save(shrunk, directory, result=None, runner=runner):
             return save_chaos_case(runner.case_for(shrunk), directory)
 
         runners.append((f"chaos:{name}", runner, save))
@@ -213,15 +239,30 @@ def cmd_fuzz(args) -> int:
     supervised (``repair``/``quarantine``) ingestion instead; the
     asserted property is convergence to the oracle's verdicts on the
     clean stream (the self-healing property).
-    """
-    from .difftest import ScenarioGenerator, Shrinker
 
+    With ``--interleave``, each scenario's trailing update block is
+    model-checked instead: every inequivalent interleaving (partial-
+    order reduction over commuting updates) is replayed through
+    flash-incr and the dispatcher/epoch path, with the requirement and
+    loop invariants asserted in every intermediate state against the
+    brute-force oracle — plus an exhaustive-vs-reduced POR soundness
+    self-check on small blocks.
+    """
+    from .difftest import InterleaveShrinker, ScenarioGenerator, Shrinker
+
+    if args.chaos and args.interleave:
+        print("--chaos and --interleave are mutually exclusive")
+        return 2
     telemetry = Telemetry.from_config(TelemetryConfig())
     generator = ScenarioGenerator(seed=args.seed, profile=args.profile)
     runners = _fuzz_runners(args, telemetry)
-    mode = (
-        f"chaos (fault profile: {args.fault_profile})" if args.chaos else "diff"
-    )
+    if args.interleave:
+        mode = "interleave"
+    elif args.chaos:
+        mode = f"chaos (fault profile: {args.fault_profile})"
+    else:
+        mode = "diff"
+    shrinker_cls = InterleaveShrinker if args.interleave else Shrinker
     print(
         f"fuzzing [{mode}]: profile={args.profile} seed={args.seed} "
         f"iterations={args.iterations}"
@@ -250,11 +291,13 @@ def cmd_fuzz(args) -> int:
                   f"{', '.join(result.kinds)})")
             for item in result.divergences[:5]:
                 print(f"  {item!r}")
-            shrunk, shrunk_result = Shrinker(runner).shrink(scenario, result)
+            shrunk, shrunk_result = shrinker_cls(runner).shrink(
+                scenario, result
+            )
             print(f"  shrunk to {len(shrunk.updates)} updates / "
                   f"{len(shrunk.requirements)} requirements")
             if args.corpus:
-                path = save(shrunk, args.corpus)
+                path = save(shrunk, args.corpus, shrunk_result)
                 print(f"  saved reproducer to {path}")
         if budget_hit or divergent >= args.max_divergences:
             if divergent >= args.max_divergences:
@@ -262,8 +305,25 @@ def cmd_fuzz(args) -> int:
             break
     elapsed = time.perf_counter() - start
     print(f"{replayed} replays in {elapsed:.1f}s: {divergent} divergent")
+    if args.interleave:
+        counters = telemetry.registry.snapshot()["counters"]
+        explored = counters.get("difftest.interleave.orders_explored", 0)
+        pruned = counters.get("difftest.interleave.orders_pruned", 0)
+        states = counters.get("difftest.interleave.states_checked", 0)
+        sig_hits = counters.get("difftest.interleave.commute.sig_hits", 0)
+        selfchecks = counters.get("difftest.interleave.selfcheck.runs", 0)
+        failures = counters.get("difftest.interleave.selfcheck.failures", 0)
+        print(
+            f"interleavings: {explored} explored, {pruned} pruned "
+            f"(commute sig hits: {sig_hits}); {states} intermediate "
+            f"states checked; POR self-checks: {selfchecks} run, "
+            f"{failures} failed"
+        )
     if args.telemetry:
-        label = f"fuzz:{'chaos:' if args.chaos else ''}{args.profile}"
+        if args.interleave:
+            label = f"fuzz:interleave:{args.profile}"
+        else:
+            label = f"fuzz:{'chaos:' if args.chaos else ''}{args.profile}"
         _export_telemetry(args.telemetry, telemetry, label)
     return 1 if divergent else 0
 
@@ -399,6 +459,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-profile", default="mixed", dest="fault_profile",
         help="chaos fault profile name, or 'all' to cycle every profile "
         "(see repro.resilience.FAULT_PROFILES)",
+    )
+    fuzz.add_argument(
+        "--interleave", action="store_true",
+        help="model-check update orders: explore inequivalent "
+        "interleavings of each scenario's trailing block (partial-order "
+        "reduction) and assert invariants in every intermediate state",
+    )
+    fuzz.add_argument(
+        "--max-orders", type=int, default=8, dest="max_orders",
+        help="interleave mode: replay at most this many inequivalent "
+        "orders per scenario",
+    )
+    fuzz.add_argument(
+        "--block-tail", type=int, default=8, dest="block_tail",
+        help="interleave mode: treat the last N updates as the "
+        "concurrent block (small values enable the exhaustive POR "
+        "soundness self-check)",
     )
     fuzz.add_argument(
         "--corpus", default=None, metavar="DIR",

@@ -12,10 +12,10 @@ from .imt import (
     merge_block_and_diff,
     natural_transformation,
 )
+from .commute import CommutativityAnalyzer, CommuteStats
 from .inverse_model import EcDelta, InverseModel, VecId
 from .model_manager import (
     FrozenReadView,
-    ModelManager,
     ModelReadView,
     ModelWriter,
 )
@@ -44,11 +44,12 @@ __all__ = [
     "effective_predicates",
     "merge_block_and_diff",
     "natural_transformation",
+    "CommutativityAnalyzer",
+    "CommuteStats",
     "EcDelta",
     "InverseModel",
     "VecId",
     "FrozenReadView",
-    "ModelManager",
     "ModelReadView",
     "ModelWriter",
     "Mr2Pipeline",

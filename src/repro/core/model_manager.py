@@ -17,9 +17,9 @@ The API is split along CE2D's read/write seam:
   :class:`FrozenReadView`; because predicates are immutable BDD handles
   and the PAT store is append-only hash-consed, the captured view stays
   valid (and answers identically) no matter how far the writer advances.
-* :class:`ModelManager` — the historical monolithic API, retained as a
-  deprecated-with-warning alias of :class:`ModelWriter` for external
-  callers.
+
+The historical monolithic ``ModelManager`` facade (a deprecated alias
+of :class:`ModelWriter`) was removed after its two-cycle grace period.
 
 ``repro.serve`` builds its snapshot-isolated query daemon on this split;
 see ``docs/serve.md`` for the consistency contract.
@@ -27,7 +27,6 @@ see ``docs/serve.md`` for the consistency contract.
 
 from __future__ import annotations
 
-import warnings
 from typing import (
     Dict,
     Iterable,
@@ -481,24 +480,3 @@ class ModelWriter:
             f"{self.num_ecs()} ECs, pending={self.pending_count}, "
             f"epoch={self._epoch})"
         )
-
-
-class ModelManager(ModelWriter):
-    """Deprecated monolithic facade — use :class:`ModelWriter` instead.
-
-    The writer surface (``submit``/``flush``/``checkpoint``/``rollback``)
-    lives on :class:`ModelWriter`; readers should pin a
-    :class:`ModelReadView` via :meth:`ModelWriter.read_view` rather than
-    reaching into ``manager.model`` directly.  This alias keeps the
-    historical constructor working but emits a
-    :class:`DeprecationWarning`.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "ModelManager is deprecated; construct a ModelWriter and pin "
-            "readers on ModelWriter.read_view() (ModelReadView) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        super().__init__(*args, **kwargs)

@@ -23,15 +23,23 @@ from .chaos import CHAOS_POLICIES, ChaosCase, ChaosRunner
 from .corpus import (
     iter_chaos_corpus,
     iter_corpus,
+    iter_interleave_corpus,
     load_chaos_case,
+    load_interleave_case,
     load_scenario,
     save_chaos_case,
+    save_interleave_case,
     save_scenario,
+)
+from .interleave import (
+    InterleaveCase,
+    InterleaveRunner,
+    InterleavingExplorer,
 )
 from .oracle import ReferenceOracle
 from .runner import DifferentialRunner, DiffResult, Divergence
 from .scenario import RequirementSpec, Scenario, ScenarioGenerator
-from .shrink import Shrinker
+from .shrink import InterleaveShrinker, Shrinker
 
 __all__ = [
     "CHAOS_POLICIES",
@@ -40,6 +48,10 @@ __all__ = [
     "DifferentialRunner",
     "DiffResult",
     "Divergence",
+    "InterleaveCase",
+    "InterleaveRunner",
+    "InterleaveShrinker",
+    "InterleavingExplorer",
     "ReferenceOracle",
     "RequirementSpec",
     "Scenario",
@@ -47,8 +59,11 @@ __all__ = [
     "Shrinker",
     "iter_chaos_corpus",
     "iter_corpus",
+    "iter_interleave_corpus",
     "load_chaos_case",
+    "load_interleave_case",
     "load_scenario",
     "save_chaos_case",
+    "save_interleave_case",
     "save_scenario",
 ]

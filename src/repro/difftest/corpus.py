@@ -6,12 +6,16 @@ under ``tests/corpus/``; a deterministic pytest entry point
 fixed divergence can never silently regress.  Files are stable
 (``sort_keys`` + indent) to keep diffs reviewable.
 
-Two file kinds share the directory: plain scenarios (replayed through
-the :class:`~repro.difftest.runner.DifferentialRunner`) and chaos cases
+Three file kinds share the directory: plain scenarios (replayed through
+the :class:`~repro.difftest.runner.DifferentialRunner`), chaos cases
 (``"kind": "chaos"`` payloads carrying a scenario *plus* its fault
 recipe, replayed through the
-:class:`~repro.difftest.chaos.ChaosRunner`).  ``iter_corpus`` /
-``iter_chaos_corpus`` each yield only their own kind.
+:class:`~repro.difftest.chaos.ChaosRunner`) and interleave cases
+(``"kind": "interleave"`` payloads carrying a scenario plus its
+exploration recipe, replayed through the
+:class:`~repro.difftest.interleave.InterleaveRunner`).  ``iter_corpus``
+/ ``iter_chaos_corpus`` / ``iter_interleave_corpus`` each yield only
+their own kind.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Tuple, Union
 
 from .chaos import ChaosCase
+from .interleave import InterleaveCase
 from .scenario import Scenario
 
 PathLike = Union[str, Path]
@@ -39,6 +44,10 @@ def _write_json(path: Path, payload: Dict[str, Any]) -> None:
 
 def is_chaos_payload(data: Dict[str, Any]) -> bool:
     return data.get("kind") == "chaos"
+
+
+def is_interleave_payload(data: Dict[str, Any]) -> bool:
+    return data.get("kind") == "interleave"
 
 
 # -- plain scenarios --------------------------------------------------------
@@ -62,8 +71,8 @@ def iter_corpus(directory: PathLike) -> Iterator[Tuple[Path, Scenario]]:
         return
     for path in sorted(directory.glob("*.json")):
         data = _read_json(path)
-        if is_chaos_payload(data):
-            continue
+        if data.get("kind") is not None:
+            continue  # kind-tagged payloads have their own iterators
         yield path, Scenario.from_dict(data)
 
 
@@ -91,3 +100,31 @@ def iter_chaos_corpus(directory: PathLike) -> Iterator[Tuple[Path, ChaosCase]]:
         if not is_chaos_payload(data):
             continue
         yield path, ChaosCase.from_dict(data)
+
+
+# -- interleave cases -------------------------------------------------------
+def save_interleave_case(case: InterleaveCase, directory: PathLike) -> Path:
+    """Write ``<directory>/<case.name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    _write_json(path, case.as_dict())
+    return path
+
+
+def load_interleave_case(path: PathLike) -> InterleaveCase:
+    return InterleaveCase.from_dict(_read_json(path))
+
+
+def iter_interleave_corpus(
+    directory: PathLike,
+) -> Iterator[Tuple[Path, InterleaveCase]]:
+    """Yield ``(path, case)`` for every interleave corpus file, in name order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        data = _read_json(path)
+        if not is_interleave_payload(data):
+            continue
+        yield path, InterleaveCase.from_dict(data)

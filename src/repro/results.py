@@ -79,6 +79,56 @@ class LoopReport:
         }
 
 
+@dataclass
+class InterleaveReport:
+    """Outcome of one interleaving exploration of an update block.
+
+    Emitted by :class:`~repro.difftest.interleave.InterleaveRunner` for
+    one scenario: how many valid orders existed, how many the partial-
+    order reduction actually replayed, and whether any intermediate
+    state disagreed with the oracle.  ``self_check`` records the POR
+    soundness self-check outcome (``passed`` / ``failed`` / ``skipped``).
+    """
+
+    scenario: str
+    block_size: int
+    orders_possible: int
+    orders_explored: int
+    orders_pruned: int
+    states_checked: int
+    order_dependent: bool
+    divergences: int
+    self_check: str = "skipped"
+    commute: Optional[Dict[str, int]] = None
+
+    @property
+    def verdict(self) -> Verdict:
+        return Verdict.VIOLATED if self.divergences else Verdict.SATISFIED
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "interleave",
+            "scenario": self.scenario,
+            "block_size": self.block_size,
+            "orders_possible": self.orders_possible,
+            "orders_explored": self.orders_explored,
+            "orders_pruned": self.orders_pruned,
+            "states_checked": self.states_checked,
+            "order_dependent": self.order_dependent,
+            "divergences": self.divergences,
+            "self_check": self.self_check,
+            "commute": None if self.commute is None else dict(self.commute),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"InterleaveReport({self.scenario}: "
+            f"{self.orders_explored}/{self.orders_possible} orders, "
+            f"{self.divergences} divergences, "
+            f"self_check={self.self_check})"
+        )
+
+
 #: Anything a checker can emit for one model update.
 Report = Union[LoopReport, VerificationReport]
 
@@ -101,6 +151,19 @@ def report_from_dict(data: Dict[str, Any]) -> Report:
             epoch=data.get("epoch"),
             time=data.get("time"),
             loop_path=data.get("loop_path"),
+        )
+    if kind == "interleave":
+        return InterleaveReport(
+            scenario=data["scenario"],
+            block_size=data["block_size"],
+            orders_possible=data["orders_possible"],
+            orders_explored=data["orders_explored"],
+            orders_pruned=data["orders_pruned"],
+            states_checked=data["states_checked"],
+            order_dependent=data["order_dependent"],
+            divergences=data["divergences"],
+            self_check=data.get("self_check", "skipped"),
+            commute=data.get("commute"),
         )
     raise ValueError(f"unknown report kind: {kind!r}")
 
@@ -162,6 +225,7 @@ __all__ = [
     "Verdict",
     "VerificationReport",
     "LoopReport",
+    "InterleaveReport",
     "Report",
     "RunSummary",
     "as_dicts",

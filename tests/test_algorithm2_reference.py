@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro.ce2d.regex_verifier import RegexVerifier
 from repro.results import Verdict
 from repro.core.inverse_model import EcDelta
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert
 from repro.headerspace.fields import dst_only_layout
@@ -76,7 +76,7 @@ class TestIncrementalMatchesReference:
         req = requirement(
             "reach", topo, LAYOUT, Match.wildcard(), ["s0"], "s0 .* >"
         )
-        manager = ModelManager(topo.switches(), LAYOUT)
+        manager = ModelWriter(topo.switches(), LAYOUT)
         incremental = RegexVerifier(req, topo, LAYOUT, manager.compiler)
         synced = set()
         order = list(topo.switches())
@@ -104,7 +104,7 @@ class TestIncrementalMatchesReference:
             "way", topo, LAYOUT, Match.wildcard(), ["s0"],
             f"s0 .* {waypoint} .* >",
         )
-        manager = ModelManager(topo.switches(), LAYOUT)
+        manager = ModelWriter(topo.switches(), LAYOUT)
         incremental = RegexVerifier(req, topo, LAYOUT, manager.compiler)
         synced = set()
         order = list(topo.switches())
@@ -130,7 +130,7 @@ class TestIncrementalMatchesReference:
         topo = random_topology(rng)
         space = Match.dst_prefix(0, 1, LAYOUT)  # half the space
         req = requirement("half", topo, LAYOUT, space, ["s0"], "s0 .* >")
-        manager = ModelManager(topo.switches(), LAYOUT)
+        manager = ModelWriter(topo.switches(), LAYOUT)
         incremental = RegexVerifier(req, topo, LAYOUT, manager.compiler)
         space_pred = manager.compiler.compile(space)
         for device in topo.switches():

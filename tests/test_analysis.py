@@ -9,7 +9,7 @@ from repro.analysis import (
     reachability_matrix,
     trace_header,
 )
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import DROP, Rule, ecmp
 from repro.dataplane.update import delete, insert
 from repro.errors import ReproError
@@ -25,7 +25,7 @@ def build_line():
     topo = line(3)
     sink = topo.add_external("sink")
     topo.add_link(2, sink)
-    manager = ModelManager(topo.switches(), LAYOUT)
+    manager = ModelWriter(topo.switches(), LAYOUT)
     manager.submit(
         [
             insert(0, Rule(1, Match.wildcard(), 1)),
@@ -55,7 +55,7 @@ class TestTraceHeader:
 
     def test_loop(self):
         topo = ring(4)
-        manager = ModelManager(topo.switches(), LAYOUT)
+        manager = ModelWriter(topo.switches(), LAYOUT)
         manager.submit(
             [
                 insert(0, Rule(1, Match.wildcard(), 1)),
@@ -96,7 +96,7 @@ class TestReachabilityMatrix:
         topo.add_link(a, c)
         topo.add_link(b, s1)
         topo.add_link(c, s2)
-        manager = ModelManager(topo.switches(), LAYOUT)
+        manager = ModelWriter(topo.switches(), LAYOUT)
         manager.submit(
             [
                 insert(a, Rule(1, Match.wildcard(), ecmp(b, c))),
@@ -144,7 +144,7 @@ class TestEcSummaryAndDiff:
 
     def test_differences_between_models(self):
         topo, manager, sink = build_line()
-        other = ModelManager(topo.switches(), LAYOUT)
+        other = ModelWriter(topo.switches(), LAYOUT)
         other.submit(
             [
                 insert(0, Rule(1, Match.wildcard(), 1)),
@@ -166,6 +166,6 @@ class TestEcSummaryAndDiff:
         topo, manager, sink = build_line()
         from repro.headerspace.fields import dst_src_layout
 
-        other = ModelManager(topo.switches(), dst_src_layout(4, 4))
+        other = ModelWriter(topo.switches(), dst_src_layout(4, 4))
         with pytest.raises(ReproError):
             differences(manager, other)

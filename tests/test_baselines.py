@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.apkeep import APKeepVerifier
 from repro.baselines.deltanet import DeltaNetVerifier
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import delete, insert
 from repro.errors import DataPlaneError, RuleNotFoundError
@@ -182,7 +182,7 @@ class TestCrossVerifierAgreement:
     @given(unique_priority_blocks())
     @settings(max_examples=30, deadline=None)
     def test_inserts_agree(self, updates):
-        flash = ModelManager(DEVICES, LAYOUT)
+        flash = ModelWriter(DEVICES, LAYOUT)
         apkeep = APKeepVerifier(DEVICES, LAYOUT)
         deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
         flash.submit(updates)
@@ -201,7 +201,7 @@ class TestCrossVerifierAgreement:
     @given(unique_priority_blocks(), st.data())
     @settings(max_examples=25, deadline=None)
     def test_inserts_then_deletes_agree(self, updates, data):
-        flash = ModelManager(DEVICES, LAYOUT)
+        flash = ModelWriter(DEVICES, LAYOUT)
         apkeep = APKeepVerifier(DEVICES, LAYOUT)
         deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
         flash.submit(updates)
@@ -228,7 +228,7 @@ class TestCrossVerifierAgreement:
     @given(unique_priority_blocks())
     @settings(max_examples=20, deadline=None)
     def test_ec_counts_agree(self, updates):
-        flash = ModelManager(DEVICES, LAYOUT)
+        flash = ModelWriter(DEVICES, LAYOUT)
         apkeep = APKeepVerifier(DEVICES, LAYOUT)
         flash.submit(updates)
         flash.flush()

@@ -28,16 +28,16 @@ from repro.bdd.predicate import PredicateEngine
 from repro.bdd.reference import ReferenceBDD
 from repro.difftest import DifferentialRunner
 from repro.difftest.compare import view_from_oracle
-from repro.difftest.corpus import is_chaos_payload, load_scenario
+from repro.difftest.corpus import load_scenario
 from repro.difftest.oracle import ReferenceOracle
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
-# Plain scenarios only — chaos cases wrap a scenario in a fault recipe
-# and are replayed by tests/test_corpus_replay.py instead.
+# Plain scenarios only — kind-tagged payloads (chaos, interleave) wrap a
+# scenario in a recipe and are replayed by tests/test_corpus_replay.py.
 CORPUS = sorted(
     path
     for path in CORPUS_DIR.glob("*.json")
-    if not is_chaos_payload(json.loads(path.read_text(encoding="utf-8")))
+    if json.loads(path.read_text(encoding="utf-8")).get("kind") is None
 )
 
 

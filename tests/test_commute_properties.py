@@ -1,0 +1,188 @@
+"""Seeded property tests for signature-based commutativity.
+
+The interleaving explorer prunes an order only when the
+:class:`~repro.core.commute.CommutativityAnalyzer` classifies the swapped
+pair as commuting, so these two properties carry the POR soundness
+argument:
+
+* **disjointness ⇒ true commutativity** — for pairs the analyzer calls
+  commuting, both application orders visit the same per-header behavior
+  vectors (the observation every checker derives its verdicts from);
+* **non-disjoint pairs are never pruned** — whenever the footprints
+  actually intersect, the analyzer must answer "dependent", and the
+  signature fast path must never claim disjointness for an overlapping
+  pair.
+
+All randomness flows through :func:`case_rng`, so ``--repro-seed``
+reseeds every case.
+"""
+
+from repro.bdd import PredicateEngine
+from repro.core import CommutativityAnalyzer
+from repro.dataplane import DROP, FibTable, Rule, RuleUpdate, insert
+from repro.headerspace import HeaderLayout, Match, Pattern
+
+from .conftest import case_rng
+
+LAYOUT = HeaderLayout([("dst", 4)])
+WIDTH = 4
+CASES = 150
+
+
+def _random_match(rng) -> Match:
+    roll = rng.random()
+    value = rng.randrange(1 << WIDTH)
+    if roll < 0.40:
+        return Match.dst_prefix(value, rng.randint(0, WIDTH), LAYOUT)
+    if roll < 0.70:
+        return Match({"dst": Pattern.exact(value, WIDTH)})
+    if roll < 0.90:
+        return Match(
+            {"dst": Pattern.suffix(value, rng.randint(1, WIDTH), WIDTH)}
+        )
+    return Match.wildcard()
+
+
+def _random_pair(rng) -> "tuple[RuleUpdate, RuleUpdate]":
+    a = insert(
+        0, Rule(rng.randint(0, 3), _random_match(rng), rng.choice([DROP, 1]))
+    )
+    b = insert(
+        1, Rule(rng.randint(0, 3), _random_match(rng), rng.choice([DROP, 0]))
+    )
+    return a, b
+
+
+def _analyzer(layout: HeaderLayout = LAYOUT) -> CommutativityAnalyzer:
+    return CommutativityAnalyzer(PredicateEngine(layout.total_bits), layout)
+
+
+def _per_header_visits(order) -> "dict[int, set]":
+    """For each header: the set of behavior vectors visited along
+    ``order`` (initial state, every intermediate state, final state)."""
+    tables = {0: FibTable(), 1: FibTable()}
+    visits = {h: set() for h in range(LAYOUT.universe_size)}
+
+    def observe() -> None:
+        for h in range(LAYOUT.universe_size):
+            values = LAYOUT.unflatten(h)
+            visits[h].add(
+                (tables[0].lookup(values), tables[1].lookup(values))
+            )
+
+    observe()
+    for update in order:
+        tables[update.device].insert(update.rule)
+        observe()
+    return visits
+
+
+class TestDisjointnessImpliesCommutativity:
+    def test_commuting_pairs_are_observationally_equivalent(self):
+        """analyzer says commute ⇒ both orders visit identical per-header
+        behavior vectors, so no checker can tell them apart."""
+        exercised = 0
+        for case in range(CASES):
+            rng = case_rng(case)
+            a, b = _random_pair(rng)
+            analyzer = _analyzer()
+            if not analyzer.commutes(a, b):
+                continue
+            exercised += 1
+            # The claimed footprint disjointness is real...
+            fa, fb = analyzer.footprint(a), analyzer.footprint(b)
+            assert (fa & fb).is_false
+            # ...and so is the behavioral consequence.
+            assert _per_header_visits([a, b]) == _per_header_visits([b, a])
+        assert exercised >= 10, "sample never produced a commuting pair"
+
+    def test_commutes_is_symmetric_and_memoized(self):
+        for case in range(25):
+            rng = case_rng(500 + case)
+            a, b = _random_pair(rng)
+            analyzer = _analyzer()
+            assert analyzer.commutes(a, b) == analyzer.commutes(b, a)
+            assert analyzer.stats.checks == 1  # second call hit the memo
+
+
+class TestNonDisjointPairsNeverPruned:
+    def test_overlapping_footprints_classified_dependent(self):
+        """Counterexample hunt: an intersecting cross-device pair that
+        the analyzer calls commuting would let POR prune an
+        inequivalent order.  There must be none."""
+        exercised = 0
+        for case in range(CASES):
+            rng = case_rng(1000 + case)
+            a, b = _random_pair(rng)
+            analyzer = _analyzer()
+            fa, fb = analyzer.footprint(a), analyzer.footprint(b)
+            if (fa & fb).is_false:
+                continue
+            exercised += 1
+            assert not analyzer.commutes(a, b), (a, b)
+        assert exercised >= 10, "sample never produced an overlapping pair"
+
+    def test_signature_filter_is_sound(self):
+        """sig(a) & sig(b) == 0 must imply a ∧ b = ⊥ — the fast path can
+        only under-approximate commutativity, never over-approximate."""
+        engine = PredicateEngine(LAYOUT.total_bits)
+        analyzer = CommutativityAnalyzer(engine, LAYOUT)
+        sig_hits = 0
+        for case in range(CASES):
+            rng = case_rng(2000 + case)
+            a, b = _random_pair(rng)
+            fa, fb = analyzer.footprint(a), analyzer.footprint(b)
+            if engine.signature(fa) & engine.signature(fb) == 0:
+                sig_hits += 1
+                assert (fa & fb).is_false
+        assert sig_hits >= 10, "sample never hit the signature fast path"
+
+    def test_same_device_pairs_never_commute(self):
+        """Even footprint-disjoint same-device updates are serialized."""
+        analyzer = _analyzer()
+        a = insert(0, Rule(1, Match({"dst": Pattern.exact(0, WIDTH)}), 1))
+        b = insert(0, Rule(1, Match({"dst": Pattern.exact(15, WIDTH)}), DROP))
+        assert (analyzer.footprint(a) & analyzer.footprint(b)).is_false
+        assert not analyzer.commutes(a, b)
+        assert analyzer.stats.same_device == 1
+
+
+class TestClassifierPlumbing:
+    def test_exact_fallback_on_signature_collision(self):
+        """Beyond the signature horizon (> SIG_BITS vars) two disjoint
+        exact matches share a signature cell; classification must fall
+        back to the exact conjunction and still answer 'commutes'."""
+        layout = HeaderLayout([("dst", 10)])
+        engine = PredicateEngine(layout.total_bits)
+        analyzer = CommutativityAnalyzer(engine, layout)
+        a = insert(0, Rule(1, Match({"dst": Pattern.exact(0, 10)}), 1))
+        b = insert(1, Rule(1, Match({"dst": Pattern.exact(1, 10)}), 0))
+        fa, fb = analyzer.footprint(a), analyzer.footprint(b)
+        assert engine.signature(fa) & engine.signature(fb) != 0
+        assert analyzer.commutes(a, b)
+        assert analyzer.stats.sig_disjoint == 0
+        assert analyzer.stats.exact_checks == 1
+        assert analyzer.stats.exact_disjoint == 1
+
+    def test_force_commute_hook_is_counted(self):
+        """The test-only misclassification hook overrides the analysis
+        and is visible in the stats (the POR self-check's tripwire)."""
+        analyzer = CommutativityAnalyzer(
+            PredicateEngine(LAYOUT.total_bits),
+            LAYOUT,
+            force_commute=lambda a, b: True,
+        )
+        a = insert(0, Rule(1, Match.wildcard(), 1))
+        b = insert(1, Rule(1, Match.wildcard(), 0))  # overlapping!
+        assert analyzer.commutes(a, b)
+        assert analyzer.stats.forced == 1
+        assert analyzer.stats.dependent == 0
+
+    def test_stats_as_dict_round_trip(self):
+        analyzer = _analyzer()
+        a = insert(0, Rule(1, Match({"dst": Pattern.exact(0, WIDTH)}), 1))
+        b = insert(1, Rule(1, Match({"dst": Pattern.exact(8, WIDTH)}), 0))
+        analyzer.commutes(a, b)
+        data = analyzer.stats.as_dict()
+        assert data["checks"] == 1
+        assert data["sig_disjoint"] + data["exact_disjoint"] == 1

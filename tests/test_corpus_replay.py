@@ -3,9 +3,11 @@
 Every file under ``tests/corpus/`` is replayed on each test run — plain
 scenarios through the full differential runner, chaos cases
 (``"kind": "chaos"`` payloads) through the fault-injecting
-:class:`~repro.difftest.chaos.ChaosRunner` — so a fixed divergence can
-never silently come back.  Each case must stay fast (< 1 s) so the
-corpus scales.
+:class:`~repro.difftest.chaos.ChaosRunner`, interleave cases
+(``"kind": "interleave"`` payloads) through the order-exploring
+:class:`~repro.difftest.interleave.InterleaveRunner` — so a fixed
+divergence can never silently come back.  Each case must stay fast
+(< 1 s) so the corpus scales.
 """
 
 import json
@@ -14,14 +16,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.difftest import ChaosRunner, DifferentialRunner
+from repro.difftest import ChaosRunner, DifferentialRunner, InterleaveRunner
 from repro.difftest.corpus import (
     is_chaos_payload,
+    is_interleave_payload,
     iter_chaos_corpus,
     iter_corpus,
+    iter_interleave_corpus,
     load_chaos_case,
+    load_interleave_case,
     load_scenario,
     save_chaos_case,
+    save_interleave_case,
     save_scenario,
 )
 
@@ -29,19 +35,25 @@ CORPUS_DIR = Path(__file__).parent / "corpus"
 
 
 def _split_corpus():
-    plain, chaos = [], []
+    plain, chaos, interleave = [], [], []
     for path in sorted(CORPUS_DIR.glob("*.json")):
         data = json.loads(path.read_text(encoding="utf-8"))
-        (chaos if is_chaos_payload(data) else plain).append(path)
-    return plain, chaos
+        if is_chaos_payload(data):
+            chaos.append(path)
+        elif is_interleave_payload(data):
+            interleave.append(path)
+        else:
+            plain.append(path)
+    return plain, chaos, interleave
 
 
-CORPUS, CHAOS_CORPUS = _split_corpus()
+CORPUS, CHAOS_CORPUS, INTERLEAVE_CORPUS = _split_corpus()
 
 
 def test_corpus_is_populated():
     assert len(CORPUS) >= 3, "expected at least 3 checked-in scenarios"
     assert len(CHAOS_CORPUS) >= 2, "expected at least 2 chaos cases"
+    assert len(INTERLEAVE_CORPUS) >= 2, "expected at least 2 interleave cases"
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
@@ -69,6 +81,44 @@ def test_chaos_case_converges(path):
     assert elapsed < 1.0, f"{case.name} took {elapsed:.2f}s (budget 1s)"
 
 
+@pytest.mark.parametrize("path", INTERLEAVE_CORPUS, ids=lambda p: p.stem)
+def test_interleave_case_replays_clean(path):
+    """Every explored order agrees with the oracle in every intermediate
+    state, and the POR soundness self-check (when it runs) passes."""
+    case = load_interleave_case(path)
+    runner = InterleaveRunner()
+    start = time.perf_counter()
+    result = runner.run_case(case)
+    elapsed = time.perf_counter() - start
+    assert result.ok, (case.name, result.divergences)
+    assert runner.last_report.self_check in ("passed", "skipped")
+    assert elapsed < 1.0, f"{case.name} took {elapsed:.2f}s (budget 1s)"
+
+
+def test_interleave_corpus_pins_measured_pruning():
+    """The disjoint-block case pins POR effectiveness: 3! valid orders,
+    one explored — if reduction stops pruning, this fails loudly."""
+    path = CORPUS_DIR / "interleave_disjoint_prefixes.json"
+    runner = InterleaveRunner()
+    result = runner.run_case(load_interleave_case(path))
+    assert result.ok
+    report = runner.last_report
+    assert report.orders_possible == 6
+    assert report.orders_explored == 1
+
+
+def test_interleave_corpus_pins_order_dependence():
+    """The transient-loop case must stay order-dependent: its two orders
+    produce different intermediate verdict sequences."""
+    path = CORPUS_DIR / "interleave_transient_loop_min.json"
+    runner = InterleaveRunner()
+    result = runner.run_case(load_interleave_case(path))
+    assert result.ok
+    report = runner.last_report
+    assert report.order_dependent is True
+    assert report.orders_explored == 2
+
+
 def test_corpus_files_are_canonical(tmp_path):
     """Checked-in files match their canonical serialised form exactly."""
     seen = set()
@@ -80,7 +130,11 @@ def test_corpus_files_are_canonical(tmp_path):
         resaved = save_chaos_case(case, tmp_path)
         assert path.read_text() == resaved.read_text(), path.name
         seen.add(path)
-    assert seen == set(CORPUS) | set(CHAOS_CORPUS)
+    for path, case in iter_interleave_corpus(CORPUS_DIR):
+        resaved = save_interleave_case(case, tmp_path)
+        assert path.read_text() == resaved.read_text(), path.name
+        seen.add(path)
+    assert seen == set(CORPUS) | set(CHAOS_CORPUS) | set(INTERLEAVE_CORPUS)
 
 
 def test_save_round_trips(tmp_path):
@@ -93,3 +147,9 @@ def test_chaos_save_round_trips(tmp_path):
     _, case = next(iter_chaos_corpus(CORPUS_DIR))
     saved = save_chaos_case(case, tmp_path)
     assert load_chaos_case(saved).as_dict() == case.as_dict()
+
+
+def test_interleave_save_round_trips(tmp_path):
+    _, case = next(iter_interleave_corpus(CORPUS_DIR))
+    saved = save_interleave_case(case, tmp_path)
+    assert load_interleave_case(saved).as_dict() == case.as_dict()

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.analysis import reachability_matrix, trace_header
 from repro.bdd.predicate import PredicateEngine
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert
 from repro.headerspace.fields import dst_only_layout, dst_src_layout
@@ -85,7 +85,7 @@ class TestAnalysisCrossValidation:
         topo = line(4)
         sink = topo.add_external("sink")
         topo.add_link(3, sink)
-        manager = ModelManager(topo.switches(), layout)
+        manager = ModelWriter(topo.switches(), layout)
         updates = []
         for device in topo.switches():
             for pri, (value, length) in enumerate(

@@ -20,7 +20,7 @@ from repro.core.imt import (
     natural_transformation,
 )
 from repro.core.inverse_model import InverseModel
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.core.mr2 import (
     Mr2Pipeline,
     aggregate,
@@ -258,10 +258,10 @@ class TestInverseModelApplication:
 
 
 def build_manager(devices=(0, 1, 2), threshold=None):
-    return ModelManager(list(devices), LAYOUT, block_threshold=threshold)
+    return ModelWriter(list(devices), LAYOUT, block_threshold=threshold)
 
 
-class TestModelManager:
+class TestModelWriter:
     def test_block_equivalence_simple(self):
         manager = build_manager()
         updates = [
@@ -443,8 +443,8 @@ class TestTrieAcceleratedMap:
             insert(data.draw(st.integers(0, 1), label="device"), r)
             for r in rules
         ]
-        scan = ModelManager((0, 1), LAYOUT)
-        trie = ModelManager((0, 1), LAYOUT, use_trie=True)
+        scan = ModelWriter((0, 1), LAYOUT)
+        trie = ModelWriter((0, 1), LAYOUT, use_trie=True)
         half = len(updates) // 2
         for manager in (scan, trie):
             manager.submit(updates[:half])
@@ -460,7 +460,7 @@ class TestTrieAcceleratedMap:
     )
     @settings(max_examples=25, deadline=None)
     def test_trie_mode_with_deletions(self, rules, data):
-        trie = ModelManager((0,), LAYOUT, use_trie=True)
+        trie = ModelWriter((0,), LAYOUT, use_trie=True)
         trie.submit([insert(0, r) for r in rules])
         trie.flush()
         unique = list(dict.fromkeys(rules))
@@ -474,7 +474,7 @@ class TestTrieAcceleratedMap:
         assert_model_matches_snapshot(trie.model, trie.snapshot, LAYOUT)
 
     def test_per_update_trie_mode(self):
-        manager = ModelManager((0, 1), LAYOUT, block_threshold=1, use_trie=True)
+        manager = ModelWriter((0, 1), LAYOUT, block_threshold=1, use_trie=True)
         manager.submit(
             [
                 insert(0, rule(2, 0b1000, 1, 1)),

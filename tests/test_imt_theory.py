@@ -20,7 +20,7 @@ from repro.bdd.predicate import PredicateEngine
 from repro.core.actiontree import ActionTreeStore
 from repro.core.imt import natural_transformation
 from repro.core.inverse_model import InverseModel
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.core.mr2 import aggregate, reduce_by_action, reduce_by_predicate
 from repro.core.overwrite import Overwrite, atomic
 from repro.dataplane.update import insert
@@ -147,7 +147,7 @@ class TestTheorem2Equivalence:
     )
     @settings(max_examples=30, deadline=None)
     def test_incremental_equals_natural(self, rules, data):
-        manager = ModelManager(DEVICES, LAYOUT)
+        manager = ModelWriter(DEVICES, LAYOUT)
         updates = [
             insert(data.draw(st.integers(0, 2), label="dev"), r) for r in rules
         ]

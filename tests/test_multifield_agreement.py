@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.apkeep import APKeepVerifier
 from repro.baselines.deltanet import DeltaNetVerifier
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import delete, insert
 from repro.headerspace.fields import dst_src_layout
@@ -59,7 +59,7 @@ def bits_of(values):
 @given(two_field_blocks())
 @settings(max_examples=30, deadline=None)
 def test_three_verifiers_agree_exhaustively(updates):
-    flash = ModelManager(DEVICES, LAYOUT)
+    flash = ModelWriter(DEVICES, LAYOUT)
     apkeep = APKeepVerifier(DEVICES, LAYOUT)
     deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
     flash.submit(updates)
@@ -77,7 +77,7 @@ def test_three_verifiers_agree_exhaustively(updates):
 @given(two_field_blocks(), st.data())
 @settings(max_examples=20, deadline=None)
 def test_agreement_survives_deletions(updates, data):
-    flash = ModelManager(DEVICES, LAYOUT)
+    flash = ModelWriter(DEVICES, LAYOUT)
     apkeep = APKeepVerifier(DEVICES, LAYOUT)
     deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
     flash.submit(updates)
@@ -106,7 +106,7 @@ def test_agreement_survives_deletions(updates, data):
 @settings(max_examples=20, deadline=None)
 def test_interval_expansion_accounting(updates):
     """Delta-net* atom count upper-bounds Flash's EC count (atoms refine ECs)."""
-    flash = ModelManager(DEVICES, LAYOUT)
+    flash = ModelWriter(DEVICES, LAYOUT)
     deltanet = DeltaNetVerifier(DEVICES, LAYOUT)
     flash.submit(updates)
     flash.flush()

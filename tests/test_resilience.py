@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import RuleUpdate, UpdateOp, delete, insert
 from repro.errors import (
@@ -289,9 +289,9 @@ class TestEpochGate:
 
 
 # ---------------------------------------------------------------------------
-# supervised ModelManager: convergence, checkpoint, rollback, fallback
+# supervised ModelWriter: convergence, checkpoint, rollback, fallback
 # ---------------------------------------------------------------------------
-class TestSupervisedModelManager:
+class TestSupervisedModelWriter:
     @pytest.mark.parametrize("policy", ["repair", "quarantine"])
     def test_faulty_stream_converges(self, policy):
         clean = random_stream(random.Random(3), ops=40)
@@ -299,12 +299,12 @@ class TestSupervisedModelManager:
         faulty = injector.inject(clean)
         assert injector.fault_counts()  # the drill actually injected
 
-        reference = ModelManager(DEVICES, LAYOUT)
+        reference = ModelWriter(DEVICES, LAYOUT)
         reference.submit(clean)
         reference.flush()
 
         gate = EpochGate(order=[stale_epoch_tag("e1"), "e1"])
-        supervised = ModelManager(
+        supervised = ModelWriter(
             DEVICES, LAYOUT, validation=policy, epoch_gate=gate, recovery=True
         )
         supervised.submit(faulty)
@@ -314,13 +314,13 @@ class TestSupervisedModelManager:
         assert supervised.num_ecs() == reference.num_ecs()
 
     def test_strict_still_raises_from_flush(self):
-        manager = ModelManager(DEVICES, LAYOUT)
+        manager = ModelWriter(DEVICES, LAYOUT)
         manager.submit([delete(0, rule(1, 0, 1, 1))])
         with pytest.raises(RuleNotFoundError):
             manager.flush()
 
     def test_checkpoint_rollback_restores_state(self):
-        manager = ModelManager(DEVICES, LAYOUT, recovery=True)
+        manager = ModelWriter(DEVICES, LAYOUT, recovery=True)
         r0, r1 = rule(1, 0, 1, 1), rule(1, 8, 1, 2)
         manager.submit([insert(0, r0)])
         manager.flush()
@@ -336,7 +336,7 @@ class TestSupervisedModelManager:
         assert manager.telemetry.registry.value("resilience.rollback.count") == 1
 
     def test_rollback_without_checkpoint_resets(self):
-        manager = ModelManager(DEVICES, LAYOUT)
+        manager = ModelWriter(DEVICES, LAYOUT)
         manager.submit([insert(0, rule(1, 0, 1, 1))])
         manager.flush()
         manager.rollback()  # no checkpoint ever captured
@@ -346,7 +346,7 @@ class TestSupervisedModelManager:
         """A strict manager with recovery: the pipeline raises mid-block,
         the manager rolls back and batch-recomputes the valid net effect
         instead of propagating or wedging."""
-        manager = ModelManager(DEVICES, LAYOUT, recovery=True)
+        manager = ModelWriter(DEVICES, LAYOUT, recovery=True)
         r0, r1 = rule(1, 0, 1, 1), rule(1, 8, 1, 2)
         manager.submit([insert(0, r0)])
         manager.flush()
@@ -358,7 +358,7 @@ class TestSupervisedModelManager:
         assert reg.value("resilience.fallback.count") == 1
         assert reg.value("resilience.fallback.recovered") == 1
         assert reg.value("resilience.fallback.active") == 0
-        expected = ModelManager(DEVICES, LAYOUT)
+        expected = ModelWriter(DEVICES, LAYOUT)
         expected.submit([insert(0, r0), insert(1, r1)])
         expected.flush()
         assert installed_rules(manager) == installed_rules(expected)
@@ -369,7 +369,7 @@ class TestSupervisedModelManager:
         assert installed_rules(manager)[1] == set()
 
     def test_checkpoint_capture_and_journal(self):
-        manager = ModelManager(DEVICES, LAYOUT)
+        manager = ModelWriter(DEVICES, LAYOUT)
         r = rule(1, 0, 1, 1)
         manager.submit([insert(0, r)])
         manager.flush()

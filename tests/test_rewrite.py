@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.model_manager import ModelManager
+from repro.core.model_manager import ModelWriter
 from repro.core.rewrite import RewriteAction, RewriteAwareChecker, action_next_hops
 from repro.dataplane.rule import DROP, Rule
 from repro.dataplane.update import insert
@@ -15,7 +15,7 @@ LAYOUT = dst_only_layout(4)
 
 
 def build(topology, updates):
-    manager = ModelManager(topology.switches(), LAYOUT)
+    manager = ModelWriter(topology.switches(), LAYOUT)
     manager.submit(updates)
     manager.flush()
     return manager
@@ -63,7 +63,7 @@ class TestRewriteImage:
     def test_multifield_image_keeps_other_fields(self):
         layout = dst_src_layout(4, 4)
         topo, a, b, sink = nat_topology()
-        manager = ModelManager(topo.switches(), layout)
+        manager = ModelWriter(topo.switches(), layout)
         checker = RewriteAwareChecker(manager, topo)
         src_half = manager.compiler.compile(
             Match({"src": Pattern.prefix(0b1000, 1, 4)})

@@ -13,7 +13,7 @@ import threading
 import pytest
 
 from repro.ce2d.verifier import SubspaceVerifier
-from repro.core.model_manager import ModelManager, ModelWriter
+from repro.core.model_manager import ModelWriter
 from repro.dataplane.rule import Rule
 from repro.dataplane.update import delete, insert
 from repro.errors import (
@@ -493,15 +493,16 @@ class TestMidStormOracle:
 
 
 # ----------------------------------------------------------------------
-# The deprecated writer alias is still usable (one grace cycle left)
+# The deprecated writer alias is gone after its grace period
 # ----------------------------------------------------------------------
 
 class TestModelManagerAlias:
-    def test_model_manager_warns_but_works(self):
-        topo, s, w, b, x = diamond()
-        with pytest.warns(DeprecationWarning, match="ModelWriter"):
-            manager = ModelManager(topo.switches(), LAYOUT)
-        assert isinstance(manager, ModelWriter)
-        manager.submit([insert(s, Rule(1, Match.wildcard(), w))])
-        manager.flush()
-        assert manager.read_view().num_ecs() >= 1
+    def test_model_manager_alias_removed(self):
+        import repro
+        import repro.core
+        import repro.core.model_manager as mm
+        assert not hasattr(mm, "ModelManager")
+        assert not hasattr(repro.core, "ModelManager")
+        assert not hasattr(repro, "ModelManager")
+        assert "ModelManager" not in repro.core.__all__
+        assert "ModelManager" not in repro.__all__
