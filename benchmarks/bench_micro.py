@@ -212,6 +212,88 @@ WORKLOADS: Dict[str, Tuple[Callable, Callable, int, int]] = {
 
 
 # ----------------------------------------------------------------------
+# Backend comparison: intervals vs BDD on prefix-only streams.
+#
+# The multi-representation predicate layer (docs/backends.md) claims one
+# performance fact worth gating: on prefix-only FIBs — where every match
+# is a single interval — range arithmetic beats BDD traversal, which is
+# the whole reason the cost-model selector exists.  This section measures
+# that claim at the backend-protocol surface (same FIB-accumulate stream,
+# both backends constructed through repro.predicates.make_backend) and
+# the gate covers *only* it.  Deliberately NOT gated: anything about
+# suffix or mixed matches, where intervals explode and BDDs win — the
+# selector routes those to BDDs, so a gate there would test a
+# configuration the system never chooses.
+# ----------------------------------------------------------------------
+
+BACKEND_WORKLOAD_N = {"full": 800, "quick": 300}
+
+#: Prefix-only acceptance floor: the interval backend must actually beat
+#: the BDD backend (ratio > 1) for the selector's choice to be justified.
+INTERVALS_PREFIX_FLOOR = 1.0
+
+
+def _backend_prefix_run(kind: str, seed: int, n: int) -> Tuple[float, int]:
+    """One timed prefix-only FIB-accumulate pass on one backend."""
+    from repro.predicates import make_backend
+
+    eng = make_backend(kind, NUM_VARS)
+    rng = random.Random(seed)
+    cubes = []
+    for _ in range(n):  # contiguous-from-MSB literals: one interval each
+        plen = rng.randint(8, 28)
+        bits = rng.getrandbits(plen)
+        cubes.append(
+            eng.cube(
+                [(i, bool((bits >> (plen - 1 - i)) & 1)) for i in range(plen)]
+            )
+        )
+    t0 = time.process_time()
+    covered = eng.false
+    check = 0
+    for c in cubes:
+        p = eng.diff(c, covered)
+        covered = eng.disj(covered, c)
+        check ^= p.sat_count()
+    dt = time.process_time() - t0
+    return dt, check ^ covered.sat_count()
+
+
+def bench_backends(quick: bool, seed: int, rounds: int = 5) -> Dict[str, object]:
+    n = BACKEND_WORKLOAD_N["quick" if quick else "full"]
+    ratios: List[float] = []
+    bdd_times: List[float] = []
+    iv_times: List[float] = []
+    bdd_check = iv_check = None
+    for _ in range(rounds):
+        bdd_dt, bdd_check = _backend_prefix_run("bdd", seed, n)
+        iv_dt, iv_check = _backend_prefix_run("intervals", seed, n)
+        bdd_times.append(bdd_dt)
+        iv_times.append(iv_dt)
+        ratios.append(bdd_dt / iv_dt if iv_dt else float("inf"))
+    if bdd_check != iv_check:
+        raise AssertionError(
+            f"backends disagree on prefix stream "
+            f"(checksum {bdd_check} vs {iv_check})"
+        )
+    row = {
+        "ops": 2 * n,
+        "rounds": rounds,
+        "n": n,
+        "bdd_seconds_median": statistics.median(bdd_times),
+        "intervals_seconds_median": statistics.median(iv_times),
+        "speedup": statistics.median(ratios),
+    }
+    print(
+        f"{'prefix_intervals':<16} n={n:<6} "
+        f"bdd={row['bdd_seconds_median']*1e3:8.1f}ms "
+        f"intervals={row['intervals_seconds_median']*1e3:8.1f}ms "
+        f"speedup={row['speedup']:5.2f}x (intervals over bdd)"
+    )
+    return {"prefix_intervals": row}
+
+
+# ----------------------------------------------------------------------
 # Measurement
 # ----------------------------------------------------------------------
 
@@ -295,6 +377,7 @@ def run_suite(quick: bool, seed: int) -> Dict[str, object]:
             f"occupancy={row['node_table_occupancy']:.2f} "
             f"cache_hit={row['cache_hit_rate']:.2f}"
         )
+    report["backends"] = bench_backends(quick, seed, rounds)
     return report
 
 
@@ -338,6 +421,29 @@ def check_against_baseline(
             f"prefix_heavy: speedup {headline['speedup']:.2f}x is below the "
             f"{PREFIX_HEAVY_FLOOR:.1f}x acceptance floor"
         )
+    # Backend honesty guard: only the prefix-only claim is gated — the
+    # interval backend must beat the BDD backend where the selector
+    # routes work to it.  Suffix/mixed regimes are intentionally ungated
+    # (the selector never picks intervals there; see bench_backends).
+    backend_row = report.get("backends", {}).get("prefix_intervals")
+    base_backends = base_section.get("backends", {})
+    base_backend_row = base_backends.get("prefix_intervals")
+    if backend_row is not None:
+        current = backend_row["speedup"]
+        if current < INTERVALS_PREFIX_FLOOR:
+            failures.append(
+                f"prefix_intervals: intervals-over-bdd speedup "
+                f"{current:.2f}x no longer wins on prefix-only streams "
+                f"(floor {INTERVALS_PREFIX_FLOOR:.1f}x)"
+            )
+        if base_backend_row is not None:
+            floor = base_backend_row["speedup"] * (1.0 - TOLERANCE)
+            if current < floor:
+                failures.append(
+                    f"prefix_intervals: speedup {current:.2f}x regressed "
+                    f">20% below baseline "
+                    f"{base_backend_row['speedup']:.2f}x (floor {floor:.2f}x)"
+                )
     return failures
 
 

@@ -1,0 +1,214 @@
+"""Bulk ITE over the levelized node arrays — numpy-vectorized batch apply.
+
+The array engine stores nodes as three parallel arrays (``_var``,
+``_low``, ``_high``), which makes the *down-sweep* of a batch of ITE
+requests a vectorizable computation: snapshot the arrays once, then
+expand a whole frontier of ``(f, g, h)`` triples per step — top-variable
+minima, cofactor gathers and child-triple deduplication are all array
+operations.  Node *creation* (the up-sweep) stays scalar through the
+engine's canonical ``_mk``, so hash-consing, complement-edge
+normalisation and unique-table growth behave identically to the scalar
+path.
+
+The win over ``len(triples)`` scalar ITE calls is shared work: every
+distinct subproblem in the batch is expanded and resolved exactly once,
+and the per-level Python interpreter overhead is paid per *frontier*
+rather than per node visit.  ``repro.bdd`` stays stdlib-only by
+contract, so numpy is strictly optional: without it (or below
+:data:`MIN_VECTOR_BATCH`) the same memoized expansion runs in plain
+Python, and a final fallback delegates to the engine's scalar ``_ite``.
+Results are bit-identical across all three paths — the invariant the
+bulk-apply tests in ``tests/test_bdd_invariants.py`` pin.
+
+Correctness sketch: triples are normalised with exactly the safe subset
+of the scalar path's standard-triple rules (terminal results, regular
+``f`` via operand swap, operand substitution), every non-terminal triple
+records its top variable and two child triples, children always have a
+strictly larger top variable, and the up-sweep resolves levels bottom-up
+with ``result = _mk(top, r_low, r_high)`` — the same recurrence the
+recursive ITE computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import FALSE, TRUE, _TERMINAL_LEVEL
+
+try:  # numpy is optional; CI perf gates run stdlib-only.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via force_scalar tests
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Below this many *unresolved* triples the vectorized frontier loop
+#: costs more than it saves; run the pure-Python expansion instead.
+MIN_VECTOR_BATCH = 8
+
+Triple = Tuple[int, int, int]
+
+
+def _normalize(f: int, g: int, h: int) -> Tuple[Optional[int], Optional[Triple]]:
+    """Safe standard-triple reduction: (terminal edge, None) or (None, triple).
+
+    Mirrors the first block of ``BDD._ite`` minus the cache/graft
+    dispatch; the returned triple has a regular ``f`` and substituted
+    operands, and denotes the same function as the input.
+    """
+    if f == TRUE:
+        return g, None
+    if f == FALSE:
+        return h, None
+    if g == h:
+        return g, None
+    if f & 1:  # regular first argument: ite(¬f,g,h) = ite(f,h,g)
+        f ^= 1
+        g, h = h, g
+    if g == f:
+        g = TRUE
+    elif g == f ^ 1:
+        g = FALSE
+    if h == f:
+        h = FALSE
+    elif h == f ^ 1:
+        h = TRUE
+    if g == h:
+        return g, None
+    if g == TRUE and h == FALSE:
+        return f, None
+    if g == FALSE and h == TRUE:
+        return f ^ 1, None
+    return None, (f, g, h)
+
+
+def _cofactor(bdd, edge: int, top: int) -> Tuple[int, int]:
+    node = edge >> 1
+    if bdd._var[node] != top:
+        return edge, edge
+    c = edge & 1
+    return bdd._low[node] ^ c, bdd._high[node] ^ c
+
+
+def _expand_scalar(
+    bdd, pending: List[Triple], deps: Dict[Triple, Tuple[int, Triple, Triple]]
+) -> None:
+    """Memoized down-sweep in pure Python (numpy-free fallback)."""
+    varr = bdd._var
+    stack = list(pending)
+    while stack:
+        t = stack.pop()
+        if t in deps:
+            continue
+        f, g, h = t
+        top = min(
+            varr[f >> 1], varr[g >> 1], varr[h >> 1]
+        )
+        f0, f1 = _cofactor(bdd, f, top)
+        g0, g1 = _cofactor(bdd, g, top)
+        h0, h1 = _cofactor(bdd, h, top)
+        lo_done, lo_t = _normalize(f0, g0, h0)
+        hi_done, hi_t = _normalize(f1, g1, h1)
+        deps[t] = (
+            top,
+            lo_t if lo_done is None else (lo_done, -1, -1),
+            hi_t if hi_done is None else (hi_done, -1, -1),
+        )
+        if lo_done is None and lo_t not in deps:
+            stack.append(lo_t)
+        if hi_done is None and hi_t not in deps:
+            stack.append(hi_t)
+
+
+def _expand_vector(
+    bdd, pending: List[Triple], deps: Dict[Triple, Tuple[int, Triple, Triple]]
+) -> None:
+    """Vectorized down-sweep: one numpy pass per frontier level.
+
+    The node arrays are snapshotted once — the down-sweep only reads —
+    and each frontier's top-variable minima and cofactor gathers run as
+    array expressions; only normalisation and memo insertion stay
+    scalar (they are dict-bound either way).
+    """
+    var_a = _np.asarray(bdd._var, dtype=_np.int64)
+    low_a = _np.asarray(bdd._low, dtype=_np.int64)
+    high_a = _np.asarray(bdd._high, dtype=_np.int64)
+    frontier = [t for t in pending if t not in deps]
+    while frontier:
+        tri = _np.asarray(frontier, dtype=_np.int64)  # (N, 3) edges
+        nodes = tri >> 1
+        comps = tri & 1
+        tvars = var_a[nodes]
+        top = tvars.min(axis=1)
+        take = tvars == top[:, None]
+        lows = _np.where(take, low_a[nodes] ^ comps, tri)
+        highs = _np.where(take, high_a[nodes] ^ comps, tri)
+        next_frontier: List[Triple] = []
+        top_list = top.tolist()
+        lo_rows = lows.tolist()
+        hi_rows = highs.tolist()
+        for i, t in enumerate(frontier):
+            lo_done, lo_t = _normalize(*lo_rows[i])
+            hi_done, hi_t = _normalize(*hi_rows[i])
+            deps[t] = (
+                top_list[i],
+                lo_t if lo_done is None else (lo_done, -1, -1),
+                hi_t if hi_done is None else (hi_done, -1, -1),
+            )
+            if lo_done is None and lo_t not in deps:
+                deps[lo_t] = None  # reserve to dedupe within the level
+                next_frontier.append(lo_t)
+            if hi_done is None and hi_t not in deps:
+                deps[hi_t] = None
+                next_frontier.append(hi_t)
+        for t in next_frontier:
+            del deps[t]
+        frontier = next_frontier
+
+
+def bulk_ite(
+    bdd, triples: Sequence[Triple], *, force_scalar: bool = False
+) -> List[int]:
+    """Resolve a batch of ITE triples; returns one edge per input triple.
+
+    Semantically identical to ``[bdd.ite(f, g, h) for f, g, h in
+    triples]`` (the invariant the bulk-apply tests pin), computed as one
+    shared-memo levelized traversal.  ``force_scalar`` pins the
+    numpy-free expansion for differential testing.
+    """
+    results: Dict[Triple, int] = {}
+    roots: List[Tuple[Optional[int], Optional[Triple]]] = []
+    pending: List[Triple] = []
+    seen = set()
+    for f, g, h in triples:
+        done, t = _normalize(f, g, h)
+        roots.append((done, t))
+        if t is not None and t not in seen:
+            seen.add(t)
+            pending.append(t)
+    if pending:
+        deps: Dict[Triple, Tuple[int, Triple, Triple]] = {}
+        use_numpy = (
+            HAVE_NUMPY
+            and not force_scalar
+            and len(pending) >= MIN_VECTOR_BATCH
+        )
+        if use_numpy:
+            _expand_vector(bdd, pending, deps)
+        else:
+            _expand_scalar(bdd, pending, deps)
+        # Children sit at strictly larger top variables than their
+        # parents, so resolving levels bottom-up (terminal level first)
+        # sees every dependency already computed.
+        mk = bdd._mk
+        bdd.stats.ite_calls += len(deps)
+        for t, (top, lo_t, hi_t) in sorted(
+            deps.items(), key=lambda kv: kv[1][0], reverse=True
+        ):
+            lo = lo_t[0] if lo_t[1] == -1 else results[lo_t]
+            hi = hi_t[0] if hi_t[1] == -1 else results[hi_t]
+            results[t] = mk(top, lo, hi)
+    return [done if t is None else results[t] for done, t in roots]
+
+
+__all__ = ["HAVE_NUMPY", "MIN_VECTOR_BATCH", "bulk_ite"]

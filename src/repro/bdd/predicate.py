@@ -124,6 +124,11 @@ class Predicate:
 class PredicateEngine:
     """Factory and operation accountant for :class:`Predicate` objects.
 
+    This is the BDD implementation of the
+    :class:`~repro.predicates.protocol.PredicateBackend` protocol (and
+    the reference the protocol was written down from); the interval
+    implementation lives in :mod:`repro.predicates.intervals`.
+
     Parameters
     ----------
     num_vars:
@@ -143,6 +148,9 @@ class PredicateEngine:
         workloads that follow the pinning protocol (hold handles or
         pins, never bare node ids, across counted operations).
     """
+
+    #: Backend protocol identifier (see :mod:`repro.predicates`).
+    backend_name = "bdd"
 
     def __init__(
         self,
@@ -298,6 +306,42 @@ class PredicateEngine:
             rest = bdd.apply_diff(a.node, b.node)
         return self.pred(inter), self.pred(rest)
 
+    def split_many(
+        self, pairs: List[Tuple[Predicate, Predicate]]
+    ) -> List[Tuple[Predicate, Predicate]]:
+        """Batched :meth:`split` through the bulk-ITE path.
+
+        Both halves of every pair become ITE triples — ``a ∧ b =
+        ite(a, b, ⊥)`` and ``a ∧ ¬b = ite(b, ⊥, a)`` — and the whole
+        batch runs one levelized traversal with a shared memo (see
+        :mod:`repro.bdd.bulk`), vectorized over the node arrays when
+        numpy is importable and falling back to scalar ITE otherwise.
+        Counted exactly like ``len(pairs)`` separate splits; batch shape
+        lands in the ``predicates.bulk.*`` counters.
+        """
+        if not pairs:
+            return []
+        bulk_ite = getattr(self.bdd, "bulk_ite", None)
+        if bulk_ite is None or len(pairs) == 1:
+            return [self.split(a, b) for a, b in pairs]
+        for a, b in pairs:
+            self._check(a, b)
+        if self._gc_threshold is not None:
+            self._maybe_collect()
+        self._c_conj.value += len(pairs)
+        self._c_neg.value += len(pairs)
+        triples: List[Tuple[int, int, int]] = []
+        for a, b in pairs:
+            triples.append((a.node, b.node, FALSE))  # a ∧ b
+            triples.append((b.node, FALSE, a.node))  # a ∧ ¬b
+        self.registry.counter("predicates.bulk.batches").inc()
+        self.registry.counter("predicates.bulk.triples").inc(len(triples))
+        edges = bulk_ite(triples)
+        return [
+            (self.pred(edges[i]), self.pred(edges[i + 1]))
+            for i in range(0, len(edges), 2)
+        ]
+
     def disj_many(self, preds: Iterable[Predicate]) -> Predicate:
         result = self._false
         for p in preds:
@@ -326,7 +370,13 @@ class PredicateEngine:
         the traversal is iterative, so predicates deeper than the Python
         recursion limit import fine.
         """
-        if pred.engine is self or pred.engine.bdd is self.bdd:
+        if pred.engine is self:
+            return self.pred(pred.node)
+        if getattr(pred.engine, "bdd", None) is None:
+            # Non-BDD backend (e.g. intervals): both families speak the
+            # FBW1 wire format, so round-trip through it.
+            return self.import_bytes(pred.engine.export_bytes([pred]))[0]
+        if pred.engine.bdd is self.bdd:
             return self.pred(pred.node)
         if pred.engine.num_vars > self.num_vars:
             raise ValueError(
@@ -400,8 +450,19 @@ class PredicateEngine:
         if not preds:
             return []
         src = preds[0].engine
-        src_bdd = src.bdd
-        if all(p.engine.bdd is src_bdd for p in preds):
+        src_bdd = getattr(src, "bdd", None)
+        if src_bdd is None:
+            # Non-BDD backend: one wire blob for the whole set when the
+            # sources agree, per-predicate import otherwise.
+            if all(p.engine is src for p in preds):
+                if src.num_vars > self.num_vars:
+                    raise ValueError(
+                        f"cannot import predicates over {src.num_vars} vars "
+                        f"into an engine with {self.num_vars}"
+                    )
+                return self.import_bytes(src.export_bytes(preds))
+            return [self.import_predicate(p) for p in preds]
+        if all(getattr(p.engine, "bdd", None) is src_bdd for p in preds):
             if src_bdd is self.bdd:
                 return [self.pred(p.node) for p in preds]
             if src.num_vars > self.num_vars:

@@ -58,6 +58,7 @@ class SubspaceVerifier:
         telemetry: Optional[Telemetry] = None,
         validation: str = "strict",
         recovery: bool = False,
+        backend: str = "bdd",
     ) -> None:
         self.topology = topology
         self.layout = layout
@@ -73,6 +74,7 @@ class SubspaceVerifier:
                 telemetry=telemetry,
                 validation=validation,
                 recovery=recovery,
+                backend=backend,
             )
         self.manager = manager
         self.telemetry = (

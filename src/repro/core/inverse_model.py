@@ -161,16 +161,34 @@ class InverseModel:
                 len(untouched)
             )
         pruned = 0
+        split_many = getattr(engine, "split_many", None)
         for ow, ow_sig in zip(ows, ow_sigs):
             delta = ow.delta_dict()
             ow_pred = ow.predicate
             next_work: Dict[VecId, Tuple[Predicate, int, int]] = {}
-            for vec, (pred, origin, psig) in work.items():
+            # Split every surviving EC against this overwrite in one
+            # batched traversal (shared memo across the pairs; numpy-
+            # vectorized down-sweep on the array engine), then merge in
+            # the original iteration order so bucket contents — and the
+            # kept origins — are identical to the per-pair loop.
+            items = list(work.items())
+            surviving = [
+                (pred, ow_pred)
+                for _, (pred, _, psig) in items
+                if psig & ow_sig != 0
+            ]
+            if split_many is not None and len(surviving) > 1:
+                splits = iter(split_many(surviving))
+            else:
+                splits = iter(
+                    [pred.split(ow_pred) for pred, _ in surviving]
+                )
+            for vec, (pred, origin, psig) in items:
                 if psig & ow_sig == 0:
                     pruned += 1
                     self._merge(next_work, vec, pred, origin, psig)
                     continue
-                inter, rest = pred.split(ow_pred)
+                inter, rest = next(splits)
                 if inter.is_false:
                     self._merge(next_work, vec, pred, origin, psig)
                     continue

@@ -1,0 +1,116 @@
+"""Interchangeable predicate backends (ROADMAP item 3).
+
+One abstraction — :class:`~repro.predicates.protocol.PredicateBackend` —
+with two production implementations:
+
+* ``"bdd"`` — the array ROBDD engine
+  (:class:`~repro.bdd.predicate.PredicateEngine`), the safe all-rounder;
+* ``"intervals"`` — hash-consed interval sets
+  (:class:`~repro.predicates.intervals.IntervalBackend`), dominant on
+  prefix-only FIBs, explosive on suffix/mixed matches.
+
+plus ``"auto"``, resolved per workload by the cost-model selector
+(:mod:`repro.predicates.select`).  Correctness across backends is owned
+by ``tests/test_backend_conformance.py``; a representation is a backend
+iff that suite passes against it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..telemetry import MetricsRegistry
+from .bdd import BddBackend, BddPredicate
+from .intervals import IntervalBackend, IntervalPredicate
+from .protocol import PredicateBackend, PredicateHandle
+from .select import (
+    FibStats,
+    profile_matches,
+    profile_updates,
+    select_backend,
+    select_for_updates,
+)
+
+#: Concrete backend constructors by name.  ``"auto"`` is intentionally
+#: absent: it is a *selection policy*, resolved to a concrete name via
+#: :func:`resolve_backend` before construction.
+BACKENDS: Dict[str, Callable[..., object]] = {
+    "bdd": BddBackend,
+    "intervals": IntervalBackend,
+}
+
+#: Names accepted by CLI flags and config surfaces.
+BACKEND_CHOICES = ("bdd", "intervals", "auto")
+
+
+def make_backend(
+    kind: str,
+    num_vars: int,
+    registry: Optional[MetricsRegistry] = None,
+    **kwargs,
+):
+    """Construct a concrete backend by name.
+
+    ``kind`` must be a concrete name from :data:`BACKENDS`; resolve
+    ``"auto"`` first with :func:`resolve_backend` (it needs workload
+    statistics this factory does not have).
+    """
+    try:
+        ctor = BACKENDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown predicate backend {kind!r}; "
+            f"pick from {sorted(BACKENDS)} (or resolve 'auto' first)"
+        ) from None
+    return ctor(num_vars, registry=registry, **kwargs)
+
+
+def resolve_backend(
+    kind: str,
+    updates=None,
+    layout=None,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Resolve a CLI-level backend choice to a concrete backend name.
+
+    ``"auto"`` profiles ``updates`` over ``layout`` through the cost
+    model (recording the decision in ``predicates.select.*``); with no
+    updates to profile it falls back to ``"bdd"``.  Concrete names pass
+    through after validation.
+    """
+    if kind == "auto":
+        batch = list(updates) if updates is not None else []
+        if not batch or layout is None:
+            return "bdd"
+        return select_for_updates(batch, layout, registry)
+    if kind not in BACKENDS:
+        raise ValueError(
+            f"unknown predicate backend {kind!r}; "
+            f"pick from {sorted(BACKENDS) + ['auto']}"
+        )
+    return kind
+
+
+def backend_name(engine) -> str:
+    """The backend name of a live engine instance."""
+    return getattr(engine, "backend_name", "bdd")
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_CHOICES",
+    "BddBackend",
+    "BddPredicate",
+    "FibStats",
+    "IntervalBackend",
+    "IntervalPredicate",
+    "PredicateBackend",
+    "PredicateHandle",
+    "backend_name",
+    "make_backend",
+    "profile_matches",
+    "profile_updates",
+    "resolve_backend",
+    "select_backend",
+    "select_for_updates",
+]

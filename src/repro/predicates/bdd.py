@@ -1,0 +1,27 @@
+"""The BDD predicate backend.
+
+:class:`~repro.bdd.predicate.PredicateEngine` *is* the reference
+implementation of the :class:`~repro.predicates.protocol.PredicateBackend`
+protocol — the protocol was written down from its surface.  This module
+gives it a first-class backend name and re-exports it under the package
+so call sites can construct backends uniformly:
+
+>>> from repro.predicates import make_backend
+>>> engine = make_backend("bdd", num_vars=8)
+
+``BddBackend`` is an alias, not a subclass: every existing
+``PredicateEngine`` instance (injected node stores included) is already a
+valid backend, and ``isinstance`` checks must not split the two.
+"""
+
+from __future__ import annotations
+
+from ..bdd.predicate import Predicate, PredicateEngine
+
+#: The BDD engine under its backend name.
+BddBackend = PredicateEngine
+
+#: Handle type, for symmetry with ``intervals.IntervalPredicate``.
+BddPredicate = Predicate
+
+__all__ = ["BddBackend", "BddPredicate"]

@@ -1,0 +1,205 @@
+"""Cost-model-driven backend selection from cheap FIB statistics.
+
+Delta-net wins on prefix-only FIBs and loses catastrophically on suffix
+matches (interval explosion); BDDs are the safe all-rounder.  This module
+decides *per workload* (a subspace's update stream) which representation
+to use, from statistics that cost one linear scan over the rule matches —
+no predicate is ever compiled to decide how to compile predicates.
+
+The estimator mirrors the expansion arithmetic of
+:meth:`~repro.headerspace.match.Match.to_interval_set` without
+materialising anything: per field, a ternary with ``w`` wildcard bits
+above its trailing wildcard run expands to ``2**w`` intervals, and a
+constrained field *below* another constrained field forces point
+enumeration of the upper field.  A workload whose worst match stays at or
+under ``interval_cap`` intervals is routed to the interval backend;
+anything else keeps BDDs.
+
+Every decision is recorded in telemetry:
+
+* ``predicates.select.decisions`` — total selector invocations;
+* ``predicates.select.intervals`` / ``predicates.select.bdd`` — outcomes;
+* ``predicates.select.est_intervals`` — gauge, the last workload's worst
+  per-match expansion estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match
+from ..telemetry import MetricsRegistry
+
+#: Estimates above this cap are treated as "explosive" and clamped.
+EST_CAP = 1 << 20
+
+#: Default worst-per-match interval budget for choosing intervals.
+DEFAULT_INTERVAL_CAP = 16
+
+
+def _pattern_shape(ternaries, width: int) -> Tuple[int, int, bool]:
+    """(interval count, point count, is_prefix) for one field pattern.
+
+    Both counts are capped at :data:`EST_CAP`; a *prefix* pattern is one
+    whose every ternary has wildcards only in a trailing run (one
+    interval each).
+    """
+    intervals = 0
+    points = 0
+    is_prefix = True
+    full = (1 << width) - 1
+    for value, mask in ternaries:
+        mask &= full
+        free = full & ~mask
+        if mask == 0:
+            trailing = width
+        else:
+            trailing = (mask & -mask).bit_length() - 1
+        high_free = bin(free >> trailing).count("1")
+        if high_free:
+            is_prefix = False
+        intervals = min(EST_CAP, intervals + (1 << min(high_free, 20)))
+        points = min(
+            EST_CAP, points + (1 << min(high_free + trailing, 20))
+        )
+    return intervals, points, is_prefix
+
+
+@dataclass
+class FibStats:
+    """Cheap statistics of one update stream's rule matches."""
+
+    layout_bits: int = 0
+    matches: int = 0
+    prefix_only_matches: int = 0
+    suffix_matches: int = 0
+    wildcard_matches: int = 0
+    #: Worst single-match interval expansion estimate (capped).
+    max_intervals_per_match: int = 1
+    #: Per-field prefix/total tallies, e.g. {"dst": (12, 14)}.
+    field_prefix_ratio: Dict[str, Tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def prefix_only(self) -> bool:
+        return self.matches == self.prefix_only_matches + self.wildcard_matches
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "layout_bits": self.layout_bits,
+            "matches": self.matches,
+            "prefix_only_matches": self.prefix_only_matches,
+            "suffix_matches": self.suffix_matches,
+            "wildcard_matches": self.wildcard_matches,
+            "max_intervals_per_match": self.max_intervals_per_match,
+            "prefix_only": self.prefix_only,
+        }
+
+
+def estimate_match_intervals(match: Match, layout: HeaderLayout) -> int:
+    """Worst-case interval count of one match, capped at :data:`EST_CAP`.
+
+    Walks fields least-significant first, mirroring the recursive
+    expansion of :meth:`Match.to_interval_set`: while every field below
+    is a full universe, a field contributes its interval count; once any
+    lower field is constrained, upper constrained-or-wildcard fields
+    contribute their *point* counts (enumeration).
+    """
+    est = 1
+    sub_full = True
+    for f in reversed(layout.fields):
+        pattern = match.patterns.get(f.name)
+        if pattern is None:
+            if not sub_full:
+                est = min(EST_CAP, est * (1 << min(f.width, 20)))
+            continue
+        intervals, points, _ = _pattern_shape(pattern.ternaries, f.width)
+        if sub_full:
+            est = min(EST_CAP, est * max(1, intervals))
+            sub_full = pattern.is_wildcard(f.width)
+        else:
+            est = min(EST_CAP, est * max(1, points))
+    return est
+
+
+def profile_matches(
+    matches: Iterable[Match], layout: HeaderLayout
+) -> FibStats:
+    """One linear scan over rule matches → :class:`FibStats`."""
+    stats = FibStats(layout_bits=layout.total_bits)
+    for match in matches:
+        stats.matches += 1
+        if match.is_wildcard:
+            stats.wildcard_matches += 1
+            continue
+        all_prefix = True
+        for name, pattern in match.patterns.items():
+            width = layout.field(name).width
+            _, _, is_prefix = _pattern_shape(pattern.ternaries, width)
+            got, total = stats.field_prefix_ratio.get(name, (0, 0))
+            stats.field_prefix_ratio[name] = (
+                got + (1 if is_prefix else 0),
+                total + 1,
+            )
+            if not is_prefix:
+                all_prefix = False
+        if all_prefix:
+            stats.prefix_only_matches += 1
+        else:
+            stats.suffix_matches += 1
+        stats.max_intervals_per_match = max(
+            stats.max_intervals_per_match,
+            estimate_match_intervals(match, layout),
+        )
+    return stats
+
+
+def profile_updates(updates, layout: HeaderLayout) -> FibStats:
+    """:func:`profile_matches` over an update stream's rule matches."""
+    return profile_matches((u.rule.match for u in updates), layout)
+
+
+def select_backend(
+    stats: FibStats,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    interval_cap: int = DEFAULT_INTERVAL_CAP,
+) -> str:
+    """Pick a backend name ("intervals" or "bdd") for one workload.
+
+    Intervals are chosen iff every match is prefix-only (or wildcard)
+    *and* the worst per-match expansion stays within ``interval_cap`` —
+    the regime where range arithmetic dominates BDD traversal.  Every
+    decision lands in the ``predicates.select.*`` counters.
+    """
+    choice = (
+        "intervals"
+        if stats.prefix_only
+        and stats.max_intervals_per_match <= interval_cap
+        else "bdd"
+    )
+    if registry is not None:
+        registry.counter("predicates.select.decisions").inc()
+        registry.counter(f"predicates.select.{choice}").inc()
+        registry.gauge("predicates.select.est_intervals").set(
+            stats.max_intervals_per_match
+        )
+    return choice
+
+
+def select_for_updates(
+    updates,
+    layout: HeaderLayout,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    interval_cap: int = DEFAULT_INTERVAL_CAP,
+) -> str:
+    """Profile an update stream and select a backend in one call."""
+    return select_backend(
+        profile_updates(updates, layout),
+        registry,
+        interval_cap=interval_cap,
+    )

@@ -1,0 +1,405 @@
+"""Cross-backend conformance suite — the contract a predicate backend signs.
+
+One parametrized battery run against **every** backend in
+:data:`repro.predicates.BACKENDS` and every ordered backend pairing:
+
+* algebraic laws (boolean-algebra identities on randomized predicates),
+* query coherence (``sat_count`` / ``evaluate`` / ``any_assignment`` /
+  ``intersects`` / ``covers`` against brute-force header enumeration),
+* ``split`` / ``split_many`` ≡ ``(a & b, a - b)``,
+* cofactor signatures agreeing bit-for-bit across backends,
+* FBW1 wire round-trips, both within a backend and across every pairing,
+* :class:`~repro.core.inverse_model.InverseModel` apply-overwrites
+  equivalence: the same update stream produces semantically identical EC
+  tables on every backend,
+* end-to-end: the differential runner sweeping all backend rows reports
+  zero divergences.
+
+A representation is a backend iff this file passes against it — add new
+backends to ``BACKENDS`` and this suite gates them automatically.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.model_manager import ModelWriter
+from repro.dataplane.rule import DROP, Rule, ecmp
+from repro.dataplane.update import RuleUpdate, UpdateOp
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match, Pattern
+from repro.predicates import BACKENDS, backend_name, make_backend
+
+NUM_VARS = 6  # 64 headers: small enough to brute-force every assignment
+
+BACKEND_NAMES = sorted(BACKENDS)
+PAIRINGS = list(itertools.product(BACKEND_NAMES, BACKEND_NAMES))
+
+
+def _assignment(header: int, num_vars: int = NUM_VARS):
+    """Header value -> variable assignment (var 0 is the MSB)."""
+    return {
+        i: bool((header >> (num_vars - 1 - i)) & 1) for i in range(num_vars)
+    }
+
+
+def _headers_of(pred, num_vars: int = NUM_VARS):
+    """Brute-force semantics: the set of headers the predicate accepts."""
+    return {
+        h
+        for h in range(1 << num_vars)
+        if pred.evaluate(_assignment(h, num_vars))
+    }
+
+
+def _random_pred(engine, rng, max_cubes: int = 4):
+    """A random predicate: disjunction of random partial cubes."""
+    out = engine.false
+    for _ in range(rng.randint(0, max_cubes)):
+        vars_in_cube = rng.sample(
+            range(engine.num_vars), rng.randint(1, engine.num_vars)
+        )
+        literals = [(v, rng.random() < 0.5) for v in sorted(vars_in_cube)]
+        out = engine.disj(out, engine.cube(literals))
+    return out
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def engine(request):
+    return make_backend(request.param, NUM_VARS)
+
+
+@pytest.fixture(params=PAIRINGS, ids=lambda p: f"{p[0]}->{p[1]}")
+def pairing(request):
+    src, dst = request.param
+    return make_backend(src, NUM_VARS), make_backend(dst, NUM_VARS)
+
+
+# ---------------------------------------------------------------------------
+# constants and constructors
+# ---------------------------------------------------------------------------
+def test_constants(engine):
+    assert engine.false.is_false and not engine.false.is_true
+    assert engine.true.is_true and not engine.true.is_false
+    assert engine.false.node == 0 and engine.true.node == 1
+    assert engine.false.sat_count() == 0
+    assert engine.true.sat_count() == 1 << NUM_VARS
+    assert engine.false.any_assignment() is None
+    assert engine.true.any_assignment() is not None
+    assert backend_name(engine) in BACKENDS
+
+
+def test_literals_and_cubes(engine):
+    for var in range(NUM_VARS):
+        lit = engine.variable(var)
+        assert _headers_of(lit) == {
+            h for h in range(1 << NUM_VARS) if _assignment(h)[var]
+        }
+        assert engine.literal(var, False) == engine.neg(lit)
+    cube = engine.cube([(0, True), (2, False)])
+    assert _headers_of(cube) == {
+        h
+        for h in range(1 << NUM_VARS)
+        if _assignment(h)[0] and not _assignment(h)[2]
+    }
+    assert engine.cube([]) is engine.true or engine.cube([]).is_true
+
+
+def test_out_of_range_variable_raises(engine):
+    with pytest.raises(IndexError):
+        engine.variable(NUM_VARS)
+    with pytest.raises(IndexError):
+        engine.literal(-1, True)
+
+
+def test_bool_coercion_guard(engine):
+    with pytest.raises(TypeError):
+        bool(engine.true)
+
+
+# ---------------------------------------------------------------------------
+# algebraic laws
+# ---------------------------------------------------------------------------
+def test_algebraic_laws(engine):
+    rng = random.Random(20260808)
+    for _ in range(40):
+        a = _random_pred(engine, rng)
+        b = _random_pred(engine, rng)
+        c = _random_pred(engine, rng)
+        # commutativity / associativity
+        assert (a & b) == (b & a)
+        assert (a | b) == (b | a)
+        assert ((a & b) & c) == (a & (b & c))
+        assert ((a | b) | c) == (a | (b | c))
+        # distributivity
+        assert (a & (b | c)) == ((a & b) | (a & c))
+        assert (a | (b & c)) == ((a | b) & (a | c))
+        # De Morgan + double negation
+        assert ~(a & b) == (~a | ~b)
+        assert ~(a | b) == (~a & ~b)
+        assert ~~a == a
+        # absorption, complements, units
+        assert (a & (a | b)) == a
+        assert (a | (a & b)) == a
+        assert (a | ~a).is_true and (a & ~a).is_false
+        assert (a & engine.true) == a and (a | engine.false) == a
+        # derived operators
+        assert (a - b) == (a & ~b)
+        assert (a ^ b) == ((a | b) - (a & b))
+        assert engine.ite(a, b, c) == ((a & b) | (~a & c))
+
+
+def test_queries_match_brute_force(engine):
+    rng = random.Random(7)
+    for _ in range(25):
+        a = _random_pred(engine, rng)
+        b = _random_pred(engine, rng)
+        ha, hb = _headers_of(a), _headers_of(b)
+        assert a.sat_count() == len(ha)
+        assert a.intersects(b) == bool(ha & hb)
+        assert b.covers(a) == (ha <= hb)
+        assert _headers_of(a & b) == (ha & hb)
+        assert _headers_of(a | b) == (ha | hb)
+        assert _headers_of(a - b) == (ha - hb)
+        assert _headers_of(~a) == set(range(1 << NUM_VARS)) - ha
+        witness = a.any_assignment()
+        if ha:
+            assert witness is not None and a.evaluate(witness)
+        else:
+            assert witness is None
+
+
+def test_equality_is_semantic_and_hash_consistent(engine):
+    rng = random.Random(11)
+    for _ in range(20):
+        a = _random_pred(engine, rng)
+        b = _random_pred(engine, rng)
+        same = _headers_of(a) == _headers_of(b)
+        assert (a == b) == same
+        if same:
+            assert hash(a) == hash(b)
+            assert a.node == b.node  # canonical representatives
+
+
+def test_split_and_split_many(engine):
+    rng = random.Random(13)
+    pairs = []
+    for _ in range(12):
+        a = _random_pred(engine, rng)
+        b = _random_pred(engine, rng)
+        inter, rest = a.split(b)
+        assert inter == (a & b)
+        assert rest == (a - b)
+        assert (inter & rest).is_false
+        assert (inter | rest) == a
+        pairs.append((a, b))
+    bulk = engine.split_many(pairs)
+    assert len(bulk) == len(pairs)
+    for (a, b), (inter, rest) in zip(pairs, bulk):
+        assert inter == (a & b) and rest == (a - b)
+
+
+def test_varargs_folds(engine):
+    rng = random.Random(17)
+    preds = [_random_pred(engine, rng) for _ in range(6)]
+    union = engine.false
+    inter = engine.true
+    for p in preds:
+        union = union | p
+        inter = inter & p
+    assert engine.disj_many(preds) == union
+    assert engine.conj_many(preds) == inter
+    assert engine.disj_many([]).is_false
+    assert engine.conj_many([]).is_true
+
+
+# ---------------------------------------------------------------------------
+# signatures
+# ---------------------------------------------------------------------------
+def test_signature_is_cofactor_occupancy(engine):
+    """Bit i of the signature <=> headers exist in the i-th top slice."""
+    rng = random.Random(19)
+    sig_bits = min(8, NUM_VARS)
+    rest = NUM_VARS - sig_bits
+    for _ in range(25):
+        p = _random_pred(engine, rng)
+        sig = engine.signature(p)
+        headers = _headers_of(p)
+        for i in range(1 << sig_bits):
+            occupied = any(
+                h >> rest == i for h in headers
+            )
+            assert bool(sig >> i & 1) == occupied, (i, sig, sorted(headers))
+
+
+@pytest.mark.parametrize(
+    "pair", PAIRINGS, ids=lambda p: f"{p[0]}-vs-{p[1]}"
+)
+def test_signatures_agree_across_backends(pair):
+    """The same set of headers signs identically on every backend —
+    the contract that lets mr2 prune with signatures from any backend."""
+    left = make_backend(pair[0], NUM_VARS)
+    right = make_backend(pair[1], NUM_VARS)
+    rng_l = random.Random(23)
+    rng_r = random.Random(23)
+    for _ in range(25):
+        a = _random_pred(left, rng_l)
+        b = _random_pred(right, rng_r)
+        assert _headers_of(a) == _headers_of(b)  # same seeded construction
+        assert left.signature(a) == right.signature(b)
+
+
+# ---------------------------------------------------------------------------
+# wire round-trips (FBW1 as the universal interchange)
+# ---------------------------------------------------------------------------
+def test_wire_round_trip_within_backend(engine):
+    rng = random.Random(29)
+    preds = [_random_pred(engine, rng) for _ in range(8)]
+    preds += [engine.false, engine.true]
+    blob = engine.export_bytes(preds)
+    assert isinstance(blob, bytes) and blob[:4] == b"FBW1"
+    back = engine.import_bytes(blob)
+    assert len(back) == len(preds)
+    for orig, got in zip(preds, back):
+        assert got == orig
+        assert got.node == orig.node  # canonical ids survive the trip
+
+
+def test_import_across_backends(pairing):
+    src, dst = pairing
+    rng = random.Random(31)
+    preds = [_random_pred(src, rng) for _ in range(8)]
+    preds += [src.false, src.true]
+    # one-by-one and batched imports agree with brute-force semantics
+    moved = dst.import_predicates(preds)
+    assert len(moved) == len(preds)
+    for orig, got in zip(preds, moved):
+        assert got.engine is dst
+        assert _headers_of(got) == _headers_of(orig)
+        assert dst.import_predicate(orig) == got
+    # and the round trip back is exact
+    returned = src.import_predicates(moved)
+    for orig, got in zip(preds, returned):
+        assert got == orig and got.node == orig.node
+
+
+def test_import_widens_narrower_sources(pairing):
+    """A predicate from a narrower header space imports as a prefix:
+    the missing low-order variables become don't-cares."""
+    src_kind = backend_name(pairing[0])
+    narrow = make_backend(src_kind, 3)
+    dst = pairing[1]
+    pred = narrow.cube([(0, True), (2, False)])  # 1?0 over 3 vars
+    wide = dst.import_predicate(pred)
+    expect = {
+        h
+        for h in range(1 << NUM_VARS)
+        if _assignment(h)[0] and not _assignment(h)[2]
+    }
+    assert _headers_of(wide) == expect
+
+
+# ---------------------------------------------------------------------------
+# GC / memory surface
+# ---------------------------------------------------------------------------
+def test_collect_preserves_live_handles(engine):
+    rng = random.Random(37)
+    keep = [_random_pred(engine, rng) for _ in range(6)]
+    semantics = [_headers_of(p) for p in keep]
+    for _ in range(50):  # churn dead intermediates
+        _random_pred(engine, rng) & _random_pred(engine, rng)
+    engine.collect()
+    for pred, headers in zip(keep, semantics):
+        assert _headers_of(pred) == headers
+    pinned = engine.pin(keep[0])
+    assert pinned == keep[0]
+    engine.unpin(pinned)
+    assert engine.shared_node_count(keep) >= 0
+    assert engine.memory_estimate_bytes() >= 0
+
+
+# ---------------------------------------------------------------------------
+# the inverse model is backend-agnostic
+# ---------------------------------------------------------------------------
+def _boundary_updates(epoch="conf"):
+    """A FIB mixing prefixes, a suffix and ECMP across three devices."""
+
+    def rule(priority, ternaries, action):
+        return Rule(
+            priority=priority,
+            match=Match({"dst": Pattern(tuple(ternaries))}),
+            action=action,
+        )
+
+    ups = [
+        (0, rule(1, [(8, 12)], 2)),       # dst=10** -> port 2
+        (0, rule(2, [(1, 1)], 1)),        # dst=***1 -> port 1 (suffix)
+        (1, rule(1, [(8, 8)], ecmp(2, 3))),  # dst=1*** -> ECMP
+        (1, rule(2, [(0, 12)], DROP)),    # dst=00** -> drop
+        (2, rule(1, [(4, 14)], 0)),       # dst=010* -> port 0
+    ]
+    return [
+        RuleUpdate(UpdateOp.INSERT, device, r, epoch) for device, r in ups
+    ]
+
+
+@pytest.mark.parametrize(
+    "pair", PAIRINGS, ids=lambda p: f"{p[0]}-vs-{p[1]}"
+)
+def test_inverse_model_equivalence(pair):
+    """The same update stream yields the same EC table on every backend:
+    identical header -> behavior maps and identical EC partitions."""
+    layout = dst_only_layout(4)
+    writers = []
+    for kind in pair:
+        writer = ModelWriter([0, 1, 2], layout, backend=kind)
+        writer.submit(_boundary_updates())
+        writer.flush()
+        writers.append(writer)
+    left, right = writers
+    assert left.num_ecs() == right.num_ecs()
+    for header in range(1 << layout.total_bits):
+        assignment = _assignment(header, layout.total_bits)
+        assert left.model.behavior(assignment) == right.model.behavior(
+            assignment
+        ), header
+    left.model.check_invariants()
+    right.model.check_invariants()
+
+
+@pytest.mark.parametrize("kind", BACKEND_NAMES)
+def test_inverse_model_fast_apply_matches_reference(kind):
+    """The signature-pruned fast path equals the historical cross
+    product on every backend, not just the BDD engine."""
+    layout = dst_only_layout(4)
+    fast = ModelWriter([0, 1, 2], layout, backend=kind)
+    fast.submit(_boundary_updates())
+    fast.flush()
+    slow = ModelWriter([0, 1, 2], layout, backend=kind)
+    slow.model.fast_apply = False
+    slow.submit(_boundary_updates())
+    slow.flush()
+    assert fast.num_ecs() == slow.num_ecs()
+    for header in range(1 << layout.total_bits):
+        assignment = _assignment(header, layout.total_bits)
+        assert fast.model.behavior(assignment) == slow.model.behavior(
+            assignment
+        )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the difftest sweep is the final arbiter
+# ---------------------------------------------------------------------------
+def test_difftest_sweep_has_zero_divergences():
+    from repro.difftest import DifferentialRunner, ScenarioGenerator
+    from repro.difftest.runner import SWEEP_BACKENDS
+
+    runner = DifferentialRunner(backends=SWEEP_BACKENDS)
+    generator = ScenarioGenerator(seed=20260808, profile="smoke")
+    for scenario in generator.stream(12):
+        result = runner.run(scenario)
+        assert result.ok, (scenario.name, result.divergences)
+        resolved = result.stats.get("backends", {})
+        for row, kind in resolved.items():
+            assert kind in BACKENDS, (row, kind)

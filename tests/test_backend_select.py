@@ -1,0 +1,241 @@
+"""Seeded property tests for the cost-model backend selector.
+
+The selector (:mod:`repro.predicates.select`) picks a representation per
+workload from cheap FIB statistics.  Two properties gate it:
+
+* **safety** — whatever it picks, Flash on the selected backend returns
+  the same verdicts and behaviors as Flash on the BDD backend (checked
+  through the differential runner's ``@auto`` rows over seeded random
+  scenarios);
+* **effectiveness** — prefix-only workloads actually select intervals
+  (the whole point of having a second backend), and suffix or explosive
+  workloads fall back to BDDs.
+
+A checked-in corpus case (``edge_prefix_suffix_boundary``) pins the
+boundary: one suffix rule inside an otherwise prefix FIB must flip the
+choice to ``bdd`` and still replay divergence-free on every pairing.
+"""
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.difftest import DifferentialRunner, ScenarioGenerator
+from repro.difftest.corpus import load_scenario
+from repro.headerspace.fields import dst_only_layout, dst_src_layout
+from repro.headerspace.match import Match, Pattern
+from repro.predicates import (
+    FibStats,
+    profile_updates,
+    resolve_backend,
+    select_backend,
+    select_for_updates,
+)
+from repro.predicates.select import (
+    DEFAULT_INTERVAL_CAP,
+    EST_CAP,
+    estimate_match_intervals,
+    profile_matches,
+)
+from repro.telemetry import MetricsRegistry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _match(ternaries, field="dst"):
+    return Match({field: Pattern(tuple(ternaries))})
+
+
+# ---------------------------------------------------------------------------
+# the estimator mirrors real interval expansion
+# ---------------------------------------------------------------------------
+def test_estimate_matches_materialised_expansion():
+    """The no-materialisation estimate equals (or safely bounds) the
+    true interval count of the compiled match."""
+    layout = dst_only_layout(6)
+    rng = random.Random(20260808)
+    for _ in range(60):
+        width = 6
+        mask = rng.randrange(1 << width)
+        value = rng.randrange(1 << width) & mask
+        match = _match([(value, mask)])
+        est = estimate_match_intervals(match, layout)
+        actual = len(match.to_interval_set(layout))
+        assert est >= actual
+        # For a single ternary the bound is exact.
+        assert est == actual
+
+
+def test_estimate_prefix_is_one_suffix_explodes():
+    layout = dst_only_layout(8)
+    prefix = _match([(0b10100000, 0b11110000)])  # 1010****
+    suffix = _match([(0b00000001, 0b00000001)])  # *******1
+    assert estimate_match_intervals(prefix, layout) == 1
+    assert estimate_match_intervals(suffix, layout) == 1 << 7
+
+
+def test_estimate_multi_field_point_enumeration():
+    """A constrained low field forces point enumeration of upper fields."""
+    layout = dst_src_layout(4, 4)
+    # dst prefix alone: one interval.
+    assert estimate_match_intervals(_match([(8, 12)]), layout) == 1
+    # dst prefix over a constrained src: dst enumerates its 4 points.
+    both = Match(
+        {"dst": Pattern(((8, 12),)), "src": Pattern(((2, 15),))}
+    )
+    assert estimate_match_intervals(both, layout) == 4
+    # src alone constrained: the absent dst field enumerates fully.
+    src_only = _match([(2, 15)], field="src")
+    assert estimate_match_intervals(src_only, layout) == 1 << 4
+
+
+def test_estimate_is_capped():
+    layout = dst_only_layout(30)
+    explosive = _match([(1, 1)])  # 29 high wildcards
+    assert estimate_match_intervals(explosive, layout) <= EST_CAP
+
+
+# ---------------------------------------------------------------------------
+# profiling and the decision rule
+# ---------------------------------------------------------------------------
+def test_profile_classifies_shapes():
+    layout = dst_only_layout(4)
+    matches = [
+        _match([(8, 12)]),        # prefix 10**
+        Match.wildcard(),         # no constraints at all
+        _match([(0, 0)]),         # full-field wildcard: still a prefix
+        _match([(1, 1)]),         # suffix ***1
+        _match([(6, 15)]),        # exact (a prefix with no wildcards)
+    ]
+    stats = profile_matches(matches, layout)
+    assert stats.matches == 5
+    assert stats.prefix_only_matches == 3
+    assert stats.wildcard_matches == 1
+    assert stats.suffix_matches == 1
+    assert not stats.prefix_only
+    assert stats.max_intervals_per_match == 8  # the suffix: 2**3
+
+
+def test_selector_prefix_only_picks_intervals():
+    registry = MetricsRegistry()
+    stats = FibStats(
+        matches=10, prefix_only_matches=9, wildcard_matches=1,
+        max_intervals_per_match=2,
+    )
+    assert stats.prefix_only
+    assert select_backend(stats, registry) == "intervals"
+    counters = registry.snapshot()["counters"]
+    assert counters["predicates.select.decisions"] == 1
+    assert counters["predicates.select.intervals"] == 1
+    assert "predicates.select.bdd" not in counters
+
+
+def test_selector_suffix_or_explosive_picks_bdd():
+    registry = MetricsRegistry()
+    suffixy = FibStats(
+        matches=10, prefix_only_matches=9, suffix_matches=1,
+        max_intervals_per_match=8,
+    )
+    assert select_backend(suffixy, registry) == "bdd"
+    explosive = FibStats(
+        matches=10, prefix_only_matches=10,
+        max_intervals_per_match=DEFAULT_INTERVAL_CAP + 1,
+    )
+    assert select_backend(explosive, registry) == "bdd"
+    counters = registry.snapshot()["counters"]
+    assert counters["predicates.select.decisions"] == 2
+    assert counters["predicates.select.bdd"] == 2
+
+
+def test_resolve_backend_passthrough_and_validation():
+    assert resolve_backend("bdd") == "bdd"
+    assert resolve_backend("intervals") == "intervals"
+    assert resolve_backend("auto") == "bdd"  # nothing to profile
+    with pytest.raises(ValueError):
+        resolve_backend("nonsense")
+
+
+# ---------------------------------------------------------------------------
+# property: prefix-only generated workloads select intervals
+# ---------------------------------------------------------------------------
+def test_generated_prefix_workloads_select_intervals():
+    """Traces from the prefix-only FIB generators always route to the
+    interval backend; seeded scenario streams always resolve to *some*
+    valid backend and the decision is deterministic per scenario."""
+    from repro.fibgen.shortest_path import std_fib
+    from repro.dataplane.trace import inserts_only
+    from repro.network import generators
+
+    topo = generators.internet2()
+    for switch in list(topo.switches()):
+        topo.add_link(switch, topo.add_external(f"h{switch}"))
+    layout = dst_only_layout(8)
+    updates = list(inserts_only(std_fib(topo, layout)))
+    assert updates
+    stats = profile_updates(updates, layout)
+    assert stats.prefix_only
+    assert select_for_updates(updates, layout) == "intervals"
+
+
+def test_generated_scenarios_decide_deterministically():
+    generator = ScenarioGenerator(seed=5, profile="smoke")
+    for scenario in generator.stream(20):
+        layout = scenario.build_layout()
+        first = resolve_backend("auto", scenario.updates, layout)
+        second = resolve_backend("auto", scenario.updates, layout)
+        assert first == second
+        assert first in ("bdd", "intervals")
+        stats = profile_updates(scenario.updates, layout)
+        if stats.suffix_matches:
+            assert first == "bdd"
+
+
+# ---------------------------------------------------------------------------
+# property: the selected backend's verdicts equal the BDD backend's
+# ---------------------------------------------------------------------------
+def test_selected_backend_matches_bdd_verdicts():
+    """The safety property, end to end: flash rows on the auto-selected
+    backend diverge from the bdd rows (and the oracle) exactly never."""
+    runner = DifferentialRunner(backends=("bdd", "auto"))
+    generator = ScenarioGenerator(seed=424242, profile="smoke")
+    resolved = set()
+    for scenario in generator.stream(15):
+        result = runner.run(scenario)
+        assert result.ok, (scenario.name, result.divergences)
+        resolved.update(result.stats.get("backends", {}).values())
+    assert resolved <= {"bdd", "intervals"}
+
+
+# ---------------------------------------------------------------------------
+# the checked-in boundary case
+# ---------------------------------------------------------------------------
+def test_corpus_boundary_case_pins_the_selector():
+    """One suffix rule inside a prefix FIB flips the choice to bdd."""
+    scenario = load_scenario(
+        CORPUS_DIR / "edge_prefix_suffix_boundary.json"
+    )
+    layout = scenario.build_layout()
+    stats = profile_updates(scenario.updates, layout)
+    assert stats.suffix_matches == 1
+    assert not stats.prefix_only
+    assert resolve_backend("auto", scenario.updates, layout) == "bdd"
+    # Remove the suffix rule and the same FIB flips back to intervals.
+    prefix_only = [
+        u
+        for u in scenario.updates
+        if profile_matches([u.rule.match], layout).suffix_matches == 0
+    ]
+    assert len(prefix_only) == len(scenario.updates) - 1
+    assert resolve_backend("auto", prefix_only, layout) == "intervals"
+
+
+def test_corpus_boundary_case_replays_on_every_pairing():
+    scenario = load_scenario(
+        CORPUS_DIR / "edge_prefix_suffix_boundary.json"
+    )
+    runner = DifferentialRunner(backends=("bdd", "intervals", "auto"))
+    result = runner.run(scenario)
+    assert result.ok, result.divergences
+    backends = result.stats.get("backends", {})
+    assert set(backends.values()) == {"bdd"}
