@@ -1,0 +1,137 @@
+"""Fleet resilience overhead — crash recovery vs a crash-free storm.
+
+The persistent worker fleet (``repro.fleet``) buys §5.5-style
+parallelism *plus* fault tolerance: workers checkpoint their shard
+model (FSJ1 snapshot + applied-block journal) every few blocks, and a
+killed worker restores the snapshot and replays only the journaled
+tail.  This bench prices that promise: the same storm is verified by
+
+* a crash-free fleet run (the recovery machinery armed but idle), and
+* a run where one worker is killed mid-storm and must recover.
+
+Both must agree exactly with the sequential baseline, and the crashed
+run must finish within ``2x`` of the crash-free run — recovery from a
+checkpoint must not degenerate into re-running the whole batch.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.parallel import run_partitioned
+from repro.resilience import RetryPolicy
+
+from .harness import save_json
+from .settings import lnet_ecmp
+
+PROCESSES = int(os.environ.get("REPRO_BENCH_PROCESSES", "4"))
+BLOCK_SIZE = int(os.environ.get("REPRO_BENCH_FLEET_BLOCK", "64"))
+CRASH_RATIO_BOUND = 2.0
+
+#: Tight watchdog so the injected death is noticed promptly; generous
+#: enough that slow CI machines don't trip it on healthy workers.
+RETRY = RetryPolicy(
+    max_retries=1,
+    backoff_seconds=0.02,
+    task_timeout=30.0,
+    jitter=0.1,
+    max_respawns=2,
+    ack_resends=1,
+)
+
+
+def _fleet_run(setting, updates, faults=None):
+    return run_partitioned(
+        setting.topology.switches(),
+        setting.layout,
+        setting.partition,
+        updates,
+        processes=PROCESSES,
+        retry=RETRY,
+        faults=faults,
+        block_size=BLOCK_SIZE,
+        checkpoint_every=2,
+        heartbeat_interval=0.05,
+    )
+
+
+def bench_fleet_crash_recovery(benchmark):
+    setting = lnet_ecmp()
+    updates = setting.storm_updates()
+    victim = setting.partition.subspaces[0].name
+    # Die once, mid-shard: after two checkpointed block pairs, so the
+    # respawned worker restores a snapshot and replays a short tail
+    # instead of the whole storm.
+    faults = {victim: "kill@1#5"}
+    result = {}
+
+    def run():
+        baseline = run_partitioned(
+            setting.topology.switches(),
+            setting.layout,
+            setting.partition,
+            updates,
+            processes=None,
+        )
+        clean = _fleet_run(setting, updates)
+        crashed = _fleet_run(setting, updates, faults=faults)
+        reg = crashed.registry
+        by_name = lambda r: {s.subspace: s for s in r.stats}  # noqa: E731
+        base_stats = by_name(baseline)
+        agree = all(
+            by_name(r)[n].ecs == base_stats[n].ecs
+            and by_name(r)[n].updates == base_stats[n].updates
+            for r in (clean, crashed)
+            for n in base_stats
+        )
+        result.update(
+            {
+                "setting": setting.name,
+                "updates": len(updates),
+                "workers": PROCESSES,
+                "block_size": BLOCK_SIZE,
+                "victim": victim,
+                "sequential_wall": baseline.wall_seconds,
+                "clean_wall": clean.wall_seconds,
+                "crashed_wall": crashed.wall_seconds,
+                "crash_ratio": crashed.wall_seconds / clean.wall_seconds,
+                "workers_lost": reg.value("fleet.workers.lost"),
+                "respawns": reg.value("fleet.respawns"),
+                "blocks_replayed": reg.value("fleet.blocks.replayed"),
+                "blocks_dispatched": reg.value("fleet.blocks.dispatched"),
+                "checkpoints": reg.value("fleet.checkpoints"),
+                "degraded": reg.value("fleet.degraded"),
+                "recovered_failures": sum(
+                    1 for f in crashed.failures if f.recovered
+                ),
+                "agree": agree,
+            }
+        )
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== fleet crash recovery overhead ===")
+    print(
+        f"{result['setting']}: {result['updates']} updates over "
+        f"{result['workers']} workers (blocks of {result['block_size']})"
+    )
+    print(
+        f"sequential {result['sequential_wall']:.3f}s | fleet clean "
+        f"{result['clean_wall']:.3f}s | fleet crashed "
+        f"{result['crashed_wall']:.3f}s "
+        f"(ratio {result['crash_ratio']:.2f}x)"
+    )
+    print(
+        f"kill of {result['victim']!r}: {result['respawns']:.0f} respawn(s), "
+        f"{result['blocks_replayed']:.0f} of "
+        f"{result['blocks_dispatched']:.0f} blocks replayed from the "
+        f"journal tail, {result['checkpoints']:.0f} checkpoints"
+    )
+    save_json("fleet_crash_recovery", result)
+    assert result["agree"], "fleet runs must agree with the sequential run"
+    assert result["workers_lost"] >= 1, "the injected kill must land"
+    assert result["degraded"] == 0, "recovery must not fall back"
+    assert result["crash_ratio"] < CRASH_RATIO_BOUND, (
+        f"crash recovery cost {result['crash_ratio']:.2f}x, "
+        f"bound {CRASH_RATIO_BOUND}x"
+    )

@@ -28,19 +28,25 @@ def bench_parallel_subspaces(benchmark):
     result = {}
 
     def run():
-        sequential, wall_seq, reg_seq = run_partitioned(
+        seq_result = run_partitioned(
             setting.topology.switches(),
             setting.layout,
             setting.partition,
             updates,
             processes=None,
         )
-        parallel, wall_par, reg_par = run_partitioned(
+        par_result = run_partitioned(
             setting.topology.switches(),
             setting.layout,
             setting.partition,
             updates,
             processes=PROCESSES,
+        )
+        sequential, wall_seq, reg_seq = (
+            seq_result.stats, seq_result.wall_seconds, seq_result.registry
+        )
+        parallel, wall_par, reg_par = (
+            par_result.stats, par_result.wall_seconds, par_result.registry
         )
         result.update(
             {

@@ -12,12 +12,14 @@ TelemetryConfig`), snapshots its registry, and ships the plain dict back;
 :func:`run_partitioned` merges the per-worker registries into one parent
 registry so a single snapshot accounts for the whole partitioned run.
 
-The pool is supervised (``repro.resilience``): workers run in an explicit
-spawn/forkserver context with ``maxtasksperchild`` so a leaky or crashed
-worker cannot wedge later tasks, every task is retried with backoff and an
-optional per-attempt watchdog, and a subspace whose pool attempts are
-exhausted is re-executed sequentially in the parent.  Failures come back
-as :class:`~repro.resilience.FailedSubspace` records on the result, never
+The pooled path runs on the persistent worker fleet (:mod:`repro.fleet`):
+long-lived worker processes each own subspace shards with incremental
+models, the supervisor routes epoch-tagged update blocks over per-worker
+queues with heartbeat liveness and per-block acks, a crashed or wedged
+worker is respawned from its last FSJ1 checkpoint and replays only the
+journaled tail, and a shard that exhausts its respawn budget degrades
+into an in-process fallback verifier.  Failures come back as
+:class:`~repro.resilience.FailedSubspace` records on the result, never
 as a pool-wide exception.
 
 Updates, matches and layouts are plain picklable data; BDD predicates
@@ -30,7 +32,6 @@ blob into a single merge engine — no per-node Python objects ever pickle.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -127,10 +128,11 @@ def _run_one_safe(task: WorkerTask):
 class PartitionedRunResult:
     """The outcome of one partitioned run.
 
-    Iterates as the historical ``(stats, wall_seconds, registry)`` triple
-    so existing ``results, wall, registry = run_partitioned(...)`` call
-    sites keep working; :attr:`failures` carries the
+    Access results by attribute — :attr:`stats`, :attr:`wall_seconds`,
+    :attr:`registry`; :attr:`failures` carries the
     :class:`~repro.resilience.FailedSubspace` supervision records.
+    (The historical triple-unpacking shim is gone: this object no longer
+    iterates as ``(stats, wall_seconds, registry)``.)
 
     With ``collect_models=True``, :attr:`models` maps each subspace name
     to its post-run EC table — ``(Predicate, {device: action})`` pairs —
@@ -147,9 +149,6 @@ class PartitionedRunResult:
     )
     model_engine: Optional["PredicateEngine"] = None
 
-    def __iter__(self):
-        return iter((self.stats, self.wall_seconds, self.registry))
-
     @property
     def ok(self) -> bool:
         return all(f.recovered for f in self.failures)
@@ -159,21 +158,6 @@ class PartitionedRunResult:
             f"PartitionedRunResult({len(self.stats)} subspaces, "
             f"{len(self.failures)} failures, {self.wall_seconds:.3f}s)"
         )
-
-
-def _mp_context(name: Optional[str]):
-    """An explicit spawn/forkserver context — never the bare fork default.
-
-    ``fork`` duplicates arbitrary parent state (locks, open BDD engines)
-    into workers; spawn/forkserver give each worker a clean interpreter,
-    which is what makes ``maxtasksperchild`` recycling trustworthy.
-    """
-    if name is not None:
-        return multiprocessing.get_context(name)
-    try:
-        return multiprocessing.get_context("forkserver")
-    except ValueError:  # pragma: no cover - platform without forkserver
-        return multiprocessing.get_context("spawn")
 
 
 def run_partitioned(
@@ -186,25 +170,32 @@ def run_partitioned(
     retry: Optional[RetryPolicy] = None,
     faults: Optional[Mapping[str, str]] = None,
     mp_context: Optional[str] = None,
-    maxtasksperchild: Optional[int] = 8,
     collect_models: bool = False,
+    block_size: Optional[int] = None,
+    heartbeat_interval: float = 0.1,
+    checkpoint_every: int = 4,
+    fleet_seed: int = 0,
 ) -> PartitionedRunResult:
     """Run every subspace verifier, optionally across worker processes.
 
-    Returns a :class:`PartitionedRunResult` — unpackable as the
-    historical ``(per-subspace stats, wall-clock seconds, merged
-    registry)`` triple.  ``processes=None`` or ``0`` runs sequentially
-    in-process (the baseline); any other value fans subspaces out over a
-    supervised pool.  The merged registry sums every worker's
-    counters/gauges and adds a ``parallel.workers`` gauge plus a
-    ``span.parallel.run`` aggregate for the whole fan-out.
+    Returns a :class:`PartitionedRunResult` with per-subspace stats, the
+    fan-out wall-clock, and a merged registry.  ``processes=None`` or
+    ``0`` runs sequentially in-process (the baseline); any other value
+    fans subspaces out over the persistent worker fleet
+    (:class:`repro.fleet.FleetSupervisor`).  The merged registry sums
+    every worker's counters/gauges and adds a ``parallel.workers`` gauge
+    plus a ``span.parallel.run`` aggregate for the whole fan-out.
 
-    ``retry`` bounds per-task pool retries/backoff and the per-attempt
-    watchdog; a subspace that exhausts its pool attempts (or times out)
-    is re-executed sequentially in the parent, and its history is
-    recorded as a :class:`~repro.resilience.FailedSubspace` instead of
-    aborting the run.  ``faults`` maps subspace names to
+    ``retry`` bounds per-block retries/backoff, ack resends, respawn
+    attempts and the per-block ack watchdog; a subspace whose worker
+    exhausts every recovery escalation degrades into the supervisor's
+    in-process fallback verifier, and its history is recorded as a
+    :class:`~repro.resilience.FailedSubspace` instead of aborting the
+    run.  ``faults`` maps subspace names to
     :class:`~repro.resilience.WorkerFaultSpec` strings (chaos drills).
+    ``block_size`` splits each shard's updates into blocks of that many
+    updates (default: one block per shard per call) and
+    ``checkpoint_every`` controls worker snapshot cadence.
 
     ``collect_models=True`` additionally ships every worker's post-run
     EC table back as one FBW1 wire blob each and imports them all into
@@ -213,45 +204,80 @@ def run_partitioned(
     """
     config = telemetry if telemetry is not None else TelemetryConfig()
     policy = retry if retry is not None else RetryPolicy()
-    routed = partition.route_updates(updates)
-    tasks = [
-        WorkerTask(
-            devices=tuple(devices),
-            layout=layout,
-            name=s.name,
-            subspace_match=s.match,
-            updates=tuple(routed[s.index]),
-            telemetry=config,
-            fault=(faults or {}).get(s.name),
-            collect_model=collect_models,
-        )
-        for s in partition
-    ]
     # The parent side always times the fan-out, even when worker-side
     # spans are disabled by the config.
     parent = Telemetry()
     outcomes: Dict[str, WorkerOutcome] = {}
     failures: List[FailedSubspace] = []
+    tasks: List[WorkerTask] = []
+    fleet_outcome = None
     with parent.span("parallel.run", workers=processes or 0):
         if not processes:
+            routed = partition.route_updates(updates)
+            tasks = [
+                WorkerTask(
+                    devices=tuple(devices),
+                    layout=layout,
+                    name=s.name,
+                    subspace_match=s.match,
+                    updates=tuple(routed[s.index]),
+                    telemetry=config,
+                    fault=(faults or {}).get(s.name),
+                    collect_model=collect_models,
+                )
+                for s in partition
+            ]
             _run_sequential(tasks, policy, parent, outcomes, failures)
         else:
-            _run_pool(
-                tasks,
-                processes,
-                policy,
-                parent,
-                outcomes,
-                failures,
-                mp_context,
-                maxtasksperchild,
+            # Imported lazily: the fleet builds on this module's types
+            # conceptually, and sequential users shouldn't pay for it.
+            from ..fleet import FleetSupervisor
+
+            fleet = FleetSupervisor(
+                devices,
+                layout,
+                partition,
+                processes=processes,
+                telemetry=config,
+                retry=policy,
+                faults=faults,
+                mp_context=mp_context,
+                parent=parent,
+                heartbeat_interval=heartbeat_interval,
+                checkpoint_every=checkpoint_every,
+                block_size=block_size,
+                seed=fleet_seed,
             )
+            try:
+                fleet.submit(updates)
+                fleet_outcome = fleet.finish(collect_models=collect_models)
+            finally:
+                fleet.close()
+            failures.extend(fleet_outcome.failures)
     wall = parent.registry.value("span.parallel.run.seconds")
     results: List[SubspaceRunStats] = []
     models: Dict[str, List[Tuple[Predicate, Dict[int, object]]]] = {}
     model_engine = (
         PredicateEngine(layout.total_bits) if collect_models else None
     )
+    if fleet_outcome is not None:
+        for subspace in partition:
+            shard = fleet_outcome.shards.get(subspace.name)
+            if shard is None:
+                continue
+            results.append(
+                SubspaceRunStats(
+                    subspace=shard.name,
+                    seconds=shard.seconds,
+                    predicate_ops=shard.predicate_ops,
+                    ecs=shard.ecs,
+                    updates=shard.updates,
+                )
+            )
+            if shard.model is not None and model_engine is not None:
+                blob, actions = shard.model
+                preds = model_engine.import_bytes(blob)
+                models[subspace.name] = list(zip(preds, actions))
     for task in tasks:
         outcome = outcomes.get(task.name)
         if outcome is None:
@@ -335,96 +361,3 @@ def _run_sequential(
 ) -> None:
     for task in tasks:
         _attempt_sequential(task, policy, parent, outcomes, failures)
-
-
-def _run_pool(
-    tasks: Sequence[WorkerTask],
-    processes: int,
-    policy: RetryPolicy,
-    parent: Telemetry,
-    outcomes: Dict[str, WorkerOutcome],
-    failures: List[FailedSubspace],
-    mp_context: Optional[str],
-    maxtasksperchild: Optional[int],
-) -> None:
-    """Supervised fan-out: per-task capture, retry, watchdog, fallback.
-
-    A task whose worker raises is retried in the pool with backoff; a
-    task that times out (hung or hard-crashed worker) or exhausts its
-    pool retries falls back to one sequential re-execution in the
-    parent.  The pool context-manager terminates leftover workers, so a
-    hung task can never wedge the caller.
-    """
-    context = _mp_context(mp_context)
-    pending: Dict[str, List[str]] = {task.name: [] for task in tasks}
-    attempts: Dict[str, int] = {task.name: 0 for task in tasks}
-    timed_out: Dict[str, bool] = {}
-    by_name = {task.name: task for task in tasks}
-    with context.Pool(
-        processes=processes, maxtasksperchild=maxtasksperchild
-    ) as pool:
-        live = {
-            task.name: pool.apply_async(_run_one_safe, (task,))
-            for task in tasks
-        }
-        while live:
-            next_live = {}
-            for name, result in live.items():
-                task = by_name[name]
-                try:
-                    outcome = result.get(policy.task_timeout)
-                except multiprocessing.TimeoutError:
-                    attempts[name] += 1
-                    timed_out[name] = True
-                    pending[name].append(
-                        f"TimeoutError: no result within "
-                        f"{policy.task_timeout}s (hung or dead worker)"
-                    )
-                    continue  # watchdog fired: stop trusting the pool
-                except Exception as exc:  # noqa: BLE001 - broken pool plumbing
-                    attempts[name] += 1
-                    pending[name].append(f"{type(exc).__name__}: {exc}")
-                    continue
-                attempts[name] += 1
-                if outcome[0] == "ok":
-                    outcomes[name] = outcome[1]
-                    if pending[name]:
-                        failures.append(
-                            FailedSubspace(
-                                subspace=name,
-                                attempts=attempts[name],
-                                error=pending[name][-1],
-                                timed_out=timed_out.get(name, False),
-                                recovered=True,
-                                history=list(pending[name]),
-                            )
-                        )
-                    pending.pop(name)
-                    continue
-                pending[name].append(outcome[1])
-                if attempts[name] <= policy.max_retries:
-                    parent.count("resilience.subspace.retries")
-                    time.sleep(policy.backoff_for(attempts[name]))
-                    retry_task = dataclasses.replace(
-                        task, attempt=attempts[name]
-                    )
-                    next_live[name] = pool.apply_async(
-                        _run_one_safe, (retry_task,)
-                    )
-            live = next_live
-    # Sequential fallback for every subspace the pool could not finish.
-    for task in tasks:
-        if task.name in outcomes or task.name not in pending:
-            continue
-        parent.count("resilience.subspace.sequential_reruns")
-        recovered = _attempt_sequential(
-            task,
-            RetryPolicy(max_retries=0, backoff_seconds=policy.backoff_seconds),
-            parent,
-            outcomes,
-            failures,
-            history=pending[task.name],
-            base_attempt=attempts[task.name],
-        )
-        if recovered:
-            failures[-1].timed_out = timed_out.get(task.name, False)

@@ -111,5 +111,14 @@ class ServeClosedError(ServeError):
     """The daemon is draining or stopped and accepts no new work."""
 
 
+class QueryTimeoutError(ServeError):
+    """A served query exceeded its per-query deadline mid-evaluation.
+
+    The evaluation loop checks the deadline between ECs, so a wedged or
+    pathologically large query releases its worker thread instead of
+    starving the pool; the caller may retry against a narrower scope.
+    """
+
+
 class SnapshotUnavailableError(ServeError):
     """The requested snapshot epoch was never published or is retired."""

@@ -26,8 +26,14 @@ epoch ``N`` equals the batch oracle's answer after replaying exactly
 the first ``N`` batches.  See ``docs/serve.md``.
 """
 
+from ..errors import QueryTimeoutError
 from .cache import ResultCache
-from .daemon import IngestFailure, QueryResult, ServeDaemon
+from .daemon import (
+    IngestFailure,
+    QueryResult,
+    ServeDaemon,
+    install_signal_handlers,
+)
 from .load import (
     BatchOracle,
     LoadResult,
@@ -54,6 +60,7 @@ __all__ = [
     "Query",
     "QueryAnswer",
     "QueryResult",
+    "QueryTimeoutError",
     "ReachabilityQuery",
     "ResultCache",
     "ServeDaemon",
@@ -62,6 +69,7 @@ __all__ = [
     "SnapshotStore",
     "WaypointQuery",
     "build_workload",
+    "install_signal_handlers",
     "isolate_view",
     "random_query",
     "reaches_external_avoiding",

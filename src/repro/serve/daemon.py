@@ -28,6 +28,7 @@ for every mid-storm query.  See ``docs/serve.md``.
 from __future__ import annotations
 
 import queue
+import signal as _signal
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -36,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..ce2d.verifier import SubspaceVerifier
 from ..dataplane.update import EpochTag, RuleUpdate
-from ..errors import ServeClosedError, ServeSaturatedError
+from ..errors import QueryTimeoutError, ServeClosedError, ServeSaturatedError
 from ..flash import QueryableVerifier
 from ..headerspace.fields import HeaderLayout
 from ..network.topology import Topology
@@ -103,10 +104,14 @@ class ServeDaemon:
         cache_size: int = 4096,
         keep_snapshots: int = 4,
         block_threshold: Optional[int] = None,
+        query_deadline: Optional[float] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if isolation not in ("copy", "shared"):
             raise ValueError(f"unknown isolation mode {isolation!r}")
+        if query_deadline is not None and query_deadline <= 0:
+            raise ValueError("query_deadline must be positive seconds")
+        self.query_deadline = query_deadline
         self.topology = topology
         self.layout = layout
         self.isolation = isolation
@@ -296,7 +301,12 @@ class ServeDaemon:
             raise ServeClosedError("daemon is not started")
         if self._closed:
             raise ServeClosedError("daemon is closed")
-        return self._executor.submit(self._execute, query, epoch)
+        try:
+            return self._executor.submit(self._execute, query, epoch)
+        except RuntimeError:
+            # Lost the race with close(): the pool shut down after the
+            # _closed check above.
+            raise ServeClosedError("daemon is closed") from None
 
     def ask(self, query: Query, *, epoch: Optional[int] = None) -> QueryResult:
         """Synchronous :meth:`submit_query`."""
@@ -304,6 +314,11 @@ class ServeDaemon:
 
     def _execute(self, query: Query, epoch: Optional[int]) -> QueryResult:
         t0 = time.perf_counter()
+        deadline = (
+            time.monotonic() + self.query_deadline
+            if self.query_deadline is not None
+            else None
+        )
         snapshot = self._snapshots.pin(epoch)
         try:
             # cache_key compiles the scope → BDD ops → same lock as eval.
@@ -313,7 +328,15 @@ class ServeDaemon:
                 cached = answer is not None
                 if answer is None:
                     with self.telemetry.span("serve.query.eval", kind=query.kind):
-                        answer = query.evaluate(snapshot.view, self.topology)
+                        try:
+                            answer = query.evaluate(
+                                snapshot.view, self.topology, deadline
+                            )
+                        except QueryTimeoutError:
+                            # The worker thread is released; the Future
+                            # carries the timeout to the caller.
+                            self.telemetry.count("serve.query.timeouts")
+                            raise
                     self._cache.put(key, answer)
         finally:
             snapshot.unpin()
@@ -361,4 +384,49 @@ class ServeDaemon:
         )
 
 
-__all__ = ["IngestFailure", "QueryResult", "ServeDaemon"]
+def install_signal_handlers(
+    daemon: ServeDaemon,
+    signals: Sequence[int] = (_signal.SIGTERM, _signal.SIGINT),
+) -> Dict[int, Any]:
+    """Drain-and-close the daemon on SIGTERM/SIGINT, then exit cleanly.
+
+    Must be called from the main thread (CPython restricts
+    :func:`signal.signal` to it).  On the first signal the handler runs
+    :meth:`ServeDaemon.close` — stop intake, apply every queued batch,
+    stop the query pool — so in-flight work finishes instead of being
+    torn down mid-batch.  It then chains to the previous handler if one
+    was installed, else converts the signal to the conventional exit:
+    ``KeyboardInterrupt`` for SIGINT, ``SystemExit(128 + signum)``
+    otherwise.
+
+    Returns the previous handlers keyed by signal number so callers
+    (tests, embedders) can restore them.
+    """
+    previous: Dict[int, Any] = {}
+
+    def _handle(signum, frame):
+        daemon.telemetry.count("serve.signal.shutdowns")
+        daemon.close()
+        prev = previous.get(signum)
+        if callable(prev) and prev not in (
+            _signal.SIG_IGN,
+            _signal.SIG_DFL,
+            _signal.default_int_handler,
+        ):
+            prev(signum, frame)
+        elif signum == _signal.SIGINT:
+            raise KeyboardInterrupt
+        else:
+            raise SystemExit(128 + signum)
+
+    for signum in signals:
+        previous[signum] = _signal.signal(signum, _handle)
+    return previous
+
+
+__all__ = [
+    "IngestFailure",
+    "QueryResult",
+    "ServeDaemon",
+    "install_signal_handlers",
+]

@@ -24,7 +24,7 @@ from ..core.model_manager import FrozenReadView, ModelWriter
 from ..dataplane.rule import Rule
 from ..dataplane.trace import inserts_only
 from ..dataplane.update import RuleUpdate, delete, insert
-from ..errors import ServeSaturatedError
+from ..errors import ServeClosedError, ServeSaturatedError
 from ..fibgen.shortest_path import std_fib
 from ..headerspace.fields import dst_only_layout
 from ..headerspace.match import Match
@@ -229,9 +229,20 @@ def run_load(
     isolation: str = "copy",
     workers: int = 4,
     queue_size: int = 8,
+    query_deadline: Optional[float] = None,
     telemetry: Optional[Telemetry] = None,
+    on_start=None,
 ) -> LoadResult:
-    """Run the storm-vs-clients race, then prove every answer correct."""
+    """Run the storm-vs-clients race, then prove every answer correct.
+
+    ``on_start`` is called with the started daemon before any load is
+    generated — the CLI uses it to install SIGTERM/SIGINT handlers so
+    an interrupted run drains instead of dying mid-batch.  A daemon
+    closed out from under the run (signal, embedder shutdown) is
+    tolerated: storm and clients stop at the first
+    :class:`~repro.errors.ServeClosedError` and the oracle check covers
+    whatever was answered before the close.
+    """
     daemon = ServeDaemon(
         workload.topology,
         workload.layout,
@@ -239,8 +250,11 @@ def run_load(
         isolation=isolation,
         queue_size=queue_size,
         workers=workers,
+        query_deadline=query_deadline,
         telemetry=telemetry if telemetry is not None else Telemetry(),
     ).start()
+    if on_start is not None:
+        on_start(daemon)
 
     rejected = 0
     storm_done = threading.Event()
@@ -258,17 +272,23 @@ def run_load(
                     except ServeSaturatedError:
                         rejected += 1
                         time.sleep(0.002)
+                    except ServeClosedError:
+                        return  # shut down mid-storm (signal/drain)
         finally:
             storm_done.set()
 
     def client(client_seed: int) -> None:
         rng = random.Random(client_seed)
         recorded: List[QueryResult] = []
-        for _ in range(workload.queries_per_client):
-            query = random_query(rng, workload.topology, workload.layout)
-            recorded.append(daemon.ask(query))
-        with results_lock:
-            results.extend(recorded)
+        try:
+            for _ in range(workload.queries_per_client):
+                query = random_query(rng, workload.topology, workload.layout)
+                recorded.append(daemon.ask(query))
+        except ServeClosedError:
+            pass  # daemon closed under us; keep what was answered
+        finally:
+            with results_lock:
+                results.extend(recorded)
 
     try:
         # The base FIB is batch 1; the oracle replays it like any other.

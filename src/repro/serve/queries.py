@@ -32,6 +32,7 @@ prepended by the cache layer.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Set, Tuple
 
@@ -39,6 +40,7 @@ from ..bdd.predicate import Predicate
 from ..core.model_manager import ModelReadView
 from ..dataplane.rule import Action, next_hops_of
 from ..difftest.oracle import forwarding_cycle, reaches_external
+from ..errors import QueryTimeoutError
 from ..headerspace.match import Match
 from ..network.topology import Topology
 
@@ -135,15 +137,31 @@ class Query:
         self,
         view: ModelReadView,
         classify: Callable[[Callable[[int], Action]], bool],
+        deadline: Optional[float] = None,
     ) -> Predicate:
-        """OR of the ECs whose forwarding graph satisfies ``classify``."""
+        """OR of the ECs whose forwarding graph satisfies ``classify``.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp;
+        the EC walk — where all the graph classification and BDD work
+        happens — checks it between entries and raises
+        :class:`~repro.errors.QueryTimeoutError` once passed.
+        """
         out = view.engine.false
         for pred, vector in view.entries():
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryTimeoutError(
+                    f"{self.kind} query exceeded its deadline mid-walk"
+                )
             if classify(lambda d, v=vector: view.action_of(v, d)):
                 out = out | pred
         return out
 
-    def evaluate(self, view: ModelReadView, topology: Topology) -> QueryAnswer:
+    def evaluate(
+        self,
+        view: ModelReadView,
+        topology: Topology,
+        deadline: Optional[float] = None,
+    ) -> QueryAnswer:
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -167,11 +185,17 @@ class ReachabilityQuery(Query):
     def params(self) -> Tuple:
         return (self.source,)
 
-    def evaluate(self, view: ModelReadView, topology: Topology) -> QueryAnswer:
+    def evaluate(
+        self,
+        view: ModelReadView,
+        topology: Topology,
+        deadline: Optional[float] = None,
+    ) -> QueryAnswer:
         scope = self.scope_predicate(view)
         delivered = self._witness(
             view,
             lambda action_of: reaches_external(topology, action_of, self.source),
+            deadline,
         )
         return QueryAnswer(
             holds=(scope - delivered).is_false,
@@ -187,10 +211,17 @@ class LoopQuery(Query):
 
     kind = "loop"
 
-    def evaluate(self, view: ModelReadView, topology: Topology) -> QueryAnswer:
+    def evaluate(
+        self,
+        view: ModelReadView,
+        topology: Topology,
+        deadline: Optional[float] = None,
+    ) -> QueryAnswer:
         scope = self.scope_predicate(view)
         looping = self._witness(
-            view, lambda action_of: forwarding_cycle(topology, action_of)
+            view,
+            lambda action_of: forwarding_cycle(topology, action_of),
+            deadline,
         )
         trapped = scope & looping
         return QueryAnswer(holds=trapped.is_false, headers=trapped.sat_count())
@@ -215,13 +246,19 @@ class WaypointQuery(Query):
     def params(self) -> Tuple:
         return (self.source, self.waypoint)
 
-    def evaluate(self, view: ModelReadView, topology: Topology) -> QueryAnswer:
+    def evaluate(
+        self,
+        view: ModelReadView,
+        topology: Topology,
+        deadline: Optional[float] = None,
+    ) -> QueryAnswer:
         scope = self.scope_predicate(view)
         bypass = self._witness(
             view,
             lambda action_of: reaches_external_avoiding(
                 topology, action_of, self.source, self.waypoint
             ),
+            deadline,
         )
         escaped = scope & bypass
         return QueryAnswer(holds=escaped.is_false, headers=escaped.sat_count())

@@ -1,0 +1,257 @@
+"""Tests for the persistent worker fleet (repro.fleet).
+
+Every test here runs real OS processes through the supervised dispatch
+path: heartbeats, per-block acks, checkpoint + journal-tail recovery,
+idempotent redelivery, and graceful degradation into the in-process
+fallback.  The invariant throughout is *verdict preservation*: whatever
+the storm does to the workers, the per-subspace stats (ECs, applied
+updates) must equal a clean sequential run's.
+"""
+
+import pytest
+
+from repro.bdd.wire import (
+    WireFormatError,
+    frame_shard_snapshot,
+    unframe_shard_snapshot,
+)
+from repro.core.parallel import run_partitioned
+from repro.core.subspace import SubspacePartition
+from repro.dataplane.rule import Rule
+from repro.dataplane.update import insert
+from repro.headerspace.fields import dst_only_layout
+from repro.headerspace.match import Match
+from repro.network.generators import ring
+from repro.resilience import RetryPolicy
+
+pytestmark = pytest.mark.fleet
+
+LAYOUT = dst_only_layout(6)
+
+# Fast-failure-detection policy: tests inject hangs/kills, so the ack
+# watchdog and respawn backoff are tightened far below the defaults.
+FAST = RetryPolicy(
+    max_retries=1,
+    backoff_seconds=0.01,
+    task_timeout=1.0,
+    jitter=0.0,
+    max_respawns=2,
+    ack_resends=1,
+)
+
+
+def setup_workload(per_shard: int = 6):
+    """A ring plus enough single-shard updates for a multi-block storm.
+
+    ``per_shard`` non-overlapping rules land in each of the two dst
+    subspaces, so with ``block_size=1`` every shard sees ``per_shard``
+    blocks — room for checkpoints, a journal tail, and a mid-storm kill.
+    """
+    topo = ring(4)
+    partition = SubspacePartition.dst_prefix_partition(
+        LAYOUT, [(0x00, 1), (0x20, 1)]
+    )
+    updates = []
+    for i in range(per_shard):
+        low = Match.dst_prefix(i << 2, 4, LAYOUT)  # dst top bit 0 -> sub0
+        high = Match.dst_prefix(0x20 | (i << 2), 4, LAYOUT)  # -> sub1
+        updates.append(insert(i % 4, Rule(1 + i, low, 1)))
+        updates.append(insert((i + 1) % 4, Rule(1 + i, high, 2)))
+    return topo, partition, updates
+
+
+def run_clean(topo, partition, updates):
+    return run_partitioned(
+        topo.switches(), LAYOUT, partition, updates, processes=None
+    )
+
+
+def assert_stats_match(result, clean):
+    by_name = {s.subspace: s for s in result.stats}
+    clean_by_name = {s.subspace: s for s in clean.stats}
+    assert set(by_name) == set(clean_by_name)
+    for name in by_name:
+        assert by_name[name].ecs == clean_by_name[name].ecs, name
+        assert by_name[name].updates == clean_by_name[name].updates, name
+
+
+class TestFaultFreeFleet:
+    def test_matches_sequential_blockwise(self):
+        """Block-at-a-time dispatch (the fleet's native shape) produces
+        the same per-subspace stats as one sequential pass."""
+        topo, partition, updates = setup_workload()
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=2, checkpoint_every=2,
+        )
+        assert result.ok and not result.failures
+        assert_stats_match(result, clean)
+        reg = result.registry
+        dispatched = reg.value("fleet.blocks.dispatched")
+        assert dispatched == reg.value("fleet.blocks.acked") > 0
+        assert reg.value("fleet.checkpoints") > 0
+        assert reg.value("fleet.respawns") == 0
+        assert reg.value("fleet.workers.lost") == 0
+        assert reg.value("parallel.workers") == 2
+
+    def test_collected_models_match_sequential(self):
+        topo, partition, updates = setup_workload(per_shard=4)
+        seq = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=None, collect_models=True,
+        )
+        par = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=2, collect_models=True,
+        )
+        for name in seq.models:
+            seq_view = {
+                tuple(sorted(actions.items())): pred.sat_count()
+                for pred, actions in seq.models[name]
+            }
+            par_view = {
+                tuple(sorted(actions.items())): pred.sat_count()
+                for pred, actions in par.models[name]
+            }
+            assert seq_view == par_view
+
+
+class TestCrashRecovery:
+    def test_killed_worker_replays_only_the_journal_tail(self):
+        """A worker killed mid-storm resumes from its last FSJ1 snapshot
+        and replays only the acked-but-uncheckpointed tail — not the
+        whole batch.  With checkpoint_every=2 and the kill landing on
+        delivery #4 (``#3``), the tail is exactly one block."""
+        topo, partition, updates = setup_workload(per_shard=6)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2,
+            retry=FAST, faults={"sub0": "kill@1#3"},
+        )
+        assert result.ok
+        assert_stats_match(result, clean)
+        reg = result.registry
+        assert reg.value("fleet.workers.lost") == 1
+        assert reg.value("fleet.respawns") == 1
+        replayed = reg.value("fleet.blocks.replayed")
+        # Checkpoint at block 2, acked tail = block 3, killed on block 4.
+        assert replayed == 1
+        assert replayed < 6  # never the whole per-shard batch
+        failure = result.failures[0]
+        assert failure.subspace == "sub0"
+        assert failure.recovered and failure.timed_out
+
+    def test_snapshot_frame_round_trips(self):
+        blob = b"\x01\x02\x03fake-fbw1-payload"
+        framed = frame_shard_snapshot(blob, [1, 2, 5, 9])
+        out, journal = unframe_shard_snapshot(framed)
+        assert out == blob and journal == [1, 2, 5, 9]
+
+    def test_snapshot_frame_rejects_corruption(self):
+        framed = frame_shard_snapshot(b"payload", [1, 2])
+        with pytest.raises(WireFormatError):
+            unframe_shard_snapshot(b"XXXX" + framed[4:])  # bad magic
+        with pytest.raises(WireFormatError):
+            unframe_shard_snapshot(framed[:-1])  # truncated blob
+        with pytest.raises(WireFormatError):
+            frame_shard_snapshot(b"p", [2, 1])  # non-monotone journal
+
+
+class TestLivenessAndIdempotency:
+    @pytest.mark.slow
+    def test_hung_worker_is_detected_and_replaced(self):
+        """A hang never errors and never acks: only the ack watchdog can
+        notice.  After the resend budget the worker is killed; the
+        respawned generation (fault window passed) finishes the shard."""
+        topo, partition, updates = setup_workload(per_shard=4)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2,
+            retry=RetryPolicy(
+                max_retries=1, backoff_seconds=0.01, task_timeout=0.4,
+                jitter=0.0, max_respawns=2, ack_resends=1,
+            ),
+            faults={"sub1": "hang@1#1"},
+        )
+        assert result.ok
+        assert_stats_match(result, clean)
+        reg = result.registry
+        assert reg.value("fleet.blocks.resent") >= 1
+        assert reg.value("fleet.workers.lost") >= 1
+        failure = result.failures[0]
+        assert failure.subspace == "sub1"
+        assert failure.recovered and failure.timed_out
+
+    def test_dropped_ack_redelivery_dedupes_at_the_watermark(self):
+        """drop-ack applies the block but swallows the ack; the resend
+        must hit the worker's idempotency watermark (skipped ack), not
+        re-apply — stats count every update exactly once."""
+        topo, partition, updates = setup_workload(per_shard=4)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2,
+            retry=RetryPolicy(
+                max_retries=1, backoff_seconds=0.01, task_timeout=0.3,
+                jitter=0.0, max_respawns=2, ack_resends=2,
+            ),
+            faults={"sub0": "drop-ack@1#1"},
+        )
+        assert result.ok
+        assert_stats_match(result, clean)
+        reg = result.registry
+        assert reg.value("fleet.blocks.resent") >= 1
+        assert reg.value("fleet.blocks.deduped") >= 1
+        # Redelivery was absorbed without another process death.
+        assert reg.value("fleet.workers.lost") == 0
+
+
+class TestGracefulDegradation:
+    @pytest.mark.slow
+    def test_unkillable_shard_degrades_to_in_process_fallback(self):
+        """A worker that dies on every generation exhausts max_respawns;
+        its shards fold back into the supervisor's fallback verifier and
+        the run still converges."""
+        topo, partition, updates = setup_workload(per_shard=4)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2,
+            retry=RetryPolicy(
+                max_retries=1, backoff_seconds=0.01, task_timeout=1.0,
+                jitter=0.0, max_respawns=1, ack_resends=0,
+            ),
+            faults={"sub0": "kill@99"},
+        )
+        assert result.ok  # degraded but recovered
+        assert_stats_match(result, clean)
+        reg = result.registry
+        assert reg.value("fleet.degraded") == 1
+        assert reg.value("resilience.subspace.sequential_reruns") == 1
+        assert reg.value("fleet.blocks.fallback") >= 1
+        failure = next(f for f in result.failures if f.subspace == "sub0")
+        assert failure.recovered
+
+
+class TestChaosFleetDifftest:
+    @pytest.mark.slow
+    def test_storm_scenarios_converge_to_the_oracle(self):
+        """A sample of the chaos-fleet gate: seeded process-fault storms
+        over generated scenarios, each asserted verdict-for-verdict
+        against the clean single-process oracle."""
+        from repro.difftest import FleetChaosRunner, ScenarioGenerator
+
+        generator = ScenarioGenerator(seed=11, profile="smoke")
+        runner = FleetChaosRunner(seed=11)
+        for scenario in generator.stream(6):
+            result = runner.run(scenario)
+            assert result.ok, (
+                f"{scenario.name} diverged under faults "
+                f"{result.stats.get('fleet_faults')}: {result.divergences}"
+            )
+        assert runner.telemetry.registry.value(
+            "difftest.fleet.scenarios"
+        ) == 6

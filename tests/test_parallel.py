@@ -30,11 +30,12 @@ def setup_workload():
 class TestSequential:
     def test_routes_and_stats(self):
         topo, partition, updates = setup_workload()
-        results, wall, registry = run_partitioned(
+        result = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=None
         )
+        results, registry = result.stats, result.registry
         assert len(results) == 2
-        assert wall >= 0
+        assert result.wall_seconds >= 0
         # The merged registry aggregates worker telemetry: one worker span
         # per subspace plus the predicate-op counters each worker tallied.
         assert registry.value("span.parallel.worker.count") == 2
@@ -54,21 +55,23 @@ class TestSequential:
 
     def test_zero_processes_means_sequential(self):
         topo, partition, updates = setup_workload()
-        results, _, _ = run_partitioned(
+        result = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=0
         )
-        assert len(results) == 2
+        assert len(result.stats) == 2
 
 
 class TestParallelPool:
     def test_pool_matches_sequential(self):
         topo, partition, updates = setup_workload()
-        seq, _, reg_seq = run_partitioned(
+        seq_result = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=None
         )
-        par, _, reg_par = run_partitioned(
+        par_result = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=2
         )
+        seq, reg_seq = seq_result.stats, seq_result.registry
+        par, reg_par = par_result.stats, par_result.registry
         for s, p in zip(seq, par):
             assert s.subspace == p.subspace
             assert s.ecs == p.ecs
@@ -87,16 +90,18 @@ class TestParallelPool:
 class TestSupervision:
     """Hardened-pool behaviour: per-task failure capture and recovery."""
 
-    def test_result_object_unpacks_as_legacy_triple(self):
+    def test_result_object_is_not_iterable(self):
+        """The PR-4 triple-unpacking shim is gone: results are accessed
+        by attribute, and accidental tuple unpacking fails loudly."""
         topo, partition, updates = setup_workload()
         result = run_partitioned(
             topo.switches(), LAYOUT, partition, updates, processes=None
         )
         assert isinstance(result, PartitionedRunResult)
-        stats, wall, registry = result
-        assert stats is result.stats
-        assert wall == result.wall_seconds
-        assert registry is result.registry
+        assert result.stats and result.wall_seconds >= 0
+        assert result.registry is not None
+        with pytest.raises(TypeError):
+            iter(result)
         assert result.ok and result.failures == []
 
     def test_worker_raise_does_not_lose_other_subspaces(self):

@@ -33,6 +33,7 @@ from repro.resilience import (
     FaultInjector,
     FaultProfile,
     ModelCheckpoint,
+    QuarantinedUpdate,
     QuarantinePolicy,
     UpdateValidator,
     WorkerFaultSpec,
@@ -247,6 +248,25 @@ class TestUpdateValidator:
         assert len(log) == 3
         assert log.dropped == 2
 
+    def test_dead_letter_eviction_is_oldest_first(self):
+        """The bound evicts in admission order (FIFO), so what survives
+        is always the *newest* window; per-kind counts keep tallying
+        evicted entries."""
+        log = DeadLetterLog(max_entries=3)
+        for i in range(5):
+            log.record(
+                QuarantinedUpdate(
+                    update=delete(0, rule(1, i % 16, 4, 1)),
+                    kind="unknown_delete",
+                    reason=f"r{i}",
+                    sequence=i,
+                )
+            )
+        assert [e.sequence for e in log] == [2, 3, 4]
+        assert log.dropped == 2
+        assert log.counts["unknown_delete"] == 5  # counts survive eviction
+        assert len(log.by_kind("unknown_delete")) == 3
+
     def test_policy_of(self):
         assert QuarantinePolicy.of("repair") is QuarantinePolicy.REPAIR
         assert (
@@ -334,6 +354,43 @@ class TestSupervisedModelWriter:
         assert installed_rules(manager) == before_rules
         assert manager.num_ecs() == before_ecs
         assert manager.telemetry.registry.value("resilience.rollback.count") == 1
+
+    def test_rollback_after_rollback_double_fault(self):
+        """Crash-during-recovery: a second rollback to the same
+        checkpoint (as the fleet supervisor issues when a respawned
+        worker dies again mid-restore) is idempotent and leaves the
+        manager fully usable."""
+        manager = ModelWriter(DEVICES, LAYOUT, recovery=True)
+        r0, r1, r2 = rule(1, 0, 1, 1), rule(1, 8, 1, 2), rule(2, 4, 2, 2)
+        manager.submit([insert(0, r0)])
+        manager.flush()
+        checkpoint = manager.checkpoint()
+        golden_rules = installed_rules(manager)
+        golden_ecs = manager.num_ecs()
+        # First fault: diverge, roll back.
+        manager.submit([insert(1, r1)])
+        manager.flush()
+        manager.rollback(checkpoint)
+        assert installed_rules(manager) == golden_rules
+        # Second fault before any new checkpoint: diverge again, roll
+        # back to the *same* checkpoint again.
+        manager.submit([insert(2, r2), delete(0, r0)])
+        manager.flush()
+        assert installed_rules(manager) != golden_rules
+        manager.rollback(checkpoint)
+        assert installed_rules(manager) == golden_rules
+        assert manager.num_ecs() == golden_ecs
+        reg = manager.telemetry.registry
+        assert reg.value("resilience.rollback.count") == 2
+        # Not wedged: the restored state keeps applying clean updates
+        # identically to a fresh replay of the same history.
+        manager.submit([insert(1, r1)])
+        manager.flush()
+        expected = ModelWriter(DEVICES, LAYOUT)
+        expected.submit([insert(0, r0), insert(1, r1)])
+        expected.flush()
+        assert installed_rules(manager) == installed_rules(expected)
+        assert manager.num_ecs() == expected.num_ecs()
 
     def test_rollback_without_checkpoint_resets(self):
         manager = ModelWriter(DEVICES, LAYOUT)

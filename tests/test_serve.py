@@ -496,6 +496,104 @@ class TestMidStormOracle:
 # The deprecated writer alias is gone after its grace period
 # ----------------------------------------------------------------------
 
+class TestQueryDeadline:
+    def test_overrunning_query_times_out_and_is_counted(self):
+        from repro.errors import QueryTimeoutError
+        from repro.telemetry import Telemetry
+
+        topo, s, w, b, x = diamond()
+        telemetry = Telemetry()
+        with ServeDaemon(
+            topo, LAYOUT, query_deadline=1e-9, telemetry=telemetry
+        ) as daemon:
+            daemon.submit_updates(exit_rules(topo, s, w, b, x), timeout=5.0)
+            daemon.drain()
+            with pytest.raises(QueryTimeoutError):
+                daemon.ask(ReachabilityQuery(s))
+            assert telemetry.registry.value("serve.query.timeouts") == 1
+            # A timed-out evaluation must not poison the cache: nothing
+            # was stored for that key.
+            assert len(daemon.cache) == 0
+
+    def test_generous_deadline_does_not_interfere(self):
+        topo, s, w, b, x = diamond()
+        with ServeDaemon(topo, LAYOUT, query_deadline=30.0) as daemon:
+            daemon.submit_updates(exit_rules(topo, s, w, b, x), timeout=5.0)
+            daemon.drain()
+            result = daemon.ask(ReachabilityQuery(s))
+            assert result.answer == QueryAnswer(holds=True, headers=SPACE)
+
+    def test_non_positive_deadline_rejected(self):
+        topo, *_ = diamond()
+        with pytest.raises(ValueError):
+            ServeDaemon(topo, LAYOUT, query_deadline=0.0)
+
+
+class TestSignalShutdown:
+    def test_sigterm_drains_and_closes_the_daemon(self):
+        import signal
+
+        from repro.serve import install_signal_handlers
+
+        topo, s, w, b, x = diamond()
+        daemon = ServeDaemon(topo, LAYOUT).start()
+        previous = install_signal_handlers(
+            daemon, signals=(signal.SIGTERM, signal.SIGINT)
+        )
+        try:
+            daemon.submit_updates(exit_rules(topo, s, w, b, x), timeout=5.0)
+            with pytest.raises(SystemExit) as excinfo:
+                signal.raise_signal(signal.SIGTERM)
+            assert excinfo.value.code == 128 + signal.SIGTERM
+            # Closed means: queued work applied, no new intake, workers
+            # stopped — not a mid-batch teardown.
+            assert daemon.epoch == 1  # the one batch was fully applied
+            with pytest.raises(ServeClosedError):
+                daemon.submit_updates([], timeout=0.1)
+            assert (
+                daemon.telemetry.registry.value("serve.signal.shutdowns") == 1
+            )
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            daemon.close()
+
+    def test_sigint_converts_to_keyboard_interrupt(self):
+        import signal
+
+        from repro.serve import install_signal_handlers
+
+        topo, *_ = diamond()
+        daemon = ServeDaemon(topo, LAYOUT).start()
+        previous = install_signal_handlers(daemon, signals=(signal.SIGINT,))
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGINT)
+            with pytest.raises(ServeClosedError):
+                daemon.submit_query(LoopQuery())
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            daemon.close()
+
+    def test_run_load_tolerates_mid_run_close(self):
+        """A daemon closed under the load harness (the signal path) ends
+        the run gracefully: threads stop at ServeClosedError and the
+        oracle check covers what was answered."""
+        workload = build_workload(seed=5, quick=True)
+        workload.blocks = workload.blocks[:2]
+        workload.clients = 1
+        workload.queries_per_client = 4
+
+        def close_early(daemon):
+            threading.Timer(0.05, daemon.close).start()
+
+        result = run_load(
+            workload, seed=5, workers=2, queue_size=2, on_start=close_early
+        )
+        assert result.divergences == []
+
+
 class TestModelManagerAlias:
     def test_model_manager_alias_removed(self):
         import repro
