@@ -554,7 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--fleet-faults", default="kill,hang,slow,drop-ack",
         dest="fleet_faults",
         help="fleet mode: comma-separated process-fault kinds to draw "
-        "each scenario's storm recipe from",
+        "each scenario's storm recipe from; 'migration-kill' adds "
+        "rebalance chaos (kill the source or target worker mid-migration)",
     )
     fuzz.add_argument(
         "--fleet-block-size", type=int, default=4, dest="fleet_block_size",
@@ -613,9 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--quick", action="store_true", help="small demo sizes")
     srv.add_argument("--seed", type=int, default=29)
     srv.add_argument(
-        "--isolation", default="copy", choices=["copy", "shared"],
-        help="snapshot isolation: per-snapshot engine copy, or readers "
-        "sharing the writer's engine behind one lock",
+        "--isolation", default="copy",
+        choices=["copy", "copy-delta", "shared"],
+        help="snapshot isolation: per-snapshot engine copy, delta frames "
+        "into one long-lived read engine, or readers sharing the "
+        "writer's engine behind one lock",
     )
     srv.add_argument("--workers", type=int, default=4,
                      help="query thread-pool size")

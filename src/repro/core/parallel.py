@@ -23,10 +23,12 @@ into an in-process fallback verifier.  Failures come back as
 as a pool-wide exception.
 
 Updates, matches and layouts are plain picklable data; BDD predicates
-cross process boundaries only as FBW1 wire blobs (:mod:`repro.bdd.wire`):
+cross process boundaries only as wire frames (:mod:`repro.bdd.wire`):
 with ``collect_models=True`` each worker serialises its post-run EC table
-into one levelized byte blob, and the parent imports every subspace's
-blob into a single merge engine — no per-node Python objects ever pickle.
+as a frame chain — one full FBW1 blob, or an FBW2 delta against its last
+checkpoint that the supervisor splices onto the chain it already holds —
+and the parent folds every subspace's chain into a single merge engine;
+no per-node Python objects ever pickle.
 """
 
 from __future__ import annotations
@@ -35,7 +37,18 @@ import dataclasses
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # fleet machinery stays a lazy import at runtime
+    from ..fleet.rebalance import RebalancePolicy
 
 from ..bdd.predicate import Predicate, PredicateEngine
 from ..dataplane.update import RuleUpdate
@@ -77,9 +90,11 @@ class WorkerTask:
     collect_model: bool = False
 
 
-#: One subspace's shipped model: an FBW1 blob of every EC predicate plus
-#: the matching per-EC ``{device: action}`` dicts, in the same order.
-ModelPayload = Tuple[bytes, Tuple[Dict[int, object], ...]]
+#: One subspace's shipped model: a chain of wire frames — one full FBW1
+#: blob optionally followed by FBW2 deltas (``import_frames`` folds the
+#: chain) — plus the matching per-EC ``{device: action}`` dicts, in the
+#: final table's order.
+ModelPayload = Tuple[Tuple[bytes, ...], Tuple[Dict[int, object], ...]]
 
 WorkerOutcome = Tuple[SubspaceRunStats, dict, Optional[ModelPayload]]
 
@@ -112,7 +127,7 @@ def _run_one(task: WorkerTask) -> WorkerOutcome:
         entries = manager.model.entries()
         blob = manager.engine.export_bytes([pred for pred, _ in entries])
         actions = tuple(manager.store.to_dict(vec) for _, vec in entries)
-        model = (blob, actions)
+        model = ((blob,), actions)
     return stats, registry.snapshot(), model
 
 
@@ -174,7 +189,9 @@ def run_partitioned(
     block_size: Optional[int] = None,
     heartbeat_interval: float = 0.1,
     checkpoint_every: int = 4,
+    compact_every: int = 4,
     fleet_seed: int = 0,
+    rebalance: Optional["RebalancePolicy"] = None,
 ) -> PartitionedRunResult:
     """Run every subspace verifier, optionally across worker processes.
 
@@ -194,8 +211,12 @@ def run_partitioned(
     run.  ``faults`` maps subspace names to
     :class:`~repro.resilience.WorkerFaultSpec` strings (chaos drills).
     ``block_size`` splits each shard's updates into blocks of that many
-    updates (default: one block per shard per call) and
-    ``checkpoint_every`` controls worker snapshot cadence.
+    updates (default: one block per shard per call),
+    ``checkpoint_every`` controls worker snapshot cadence, and
+    ``compact_every`` the full-frame compaction cadence of the delta
+    checkpoint chain (``1`` ships a full frame every checkpoint).
+    ``rebalance`` (a :class:`repro.fleet.RebalancePolicy`) enables
+    skew-aware shard splitting on the fleet path.
 
     ``collect_models=True`` additionally ships every worker's post-run
     EC table back as one FBW1 wire blob each and imports them all into
@@ -245,8 +266,10 @@ def run_partitioned(
                 parent=parent,
                 heartbeat_interval=heartbeat_interval,
                 checkpoint_every=checkpoint_every,
+                compact_every=compact_every,
                 block_size=block_size,
                 seed=fleet_seed,
+                rebalance=rebalance,
             )
             try:
                 fleet.submit(updates)
@@ -261,10 +284,9 @@ def run_partitioned(
         PredicateEngine(layout.total_bits) if collect_models else None
     )
     if fleet_outcome is not None:
-        for subspace in partition:
-            shard = fleet_outcome.shards.get(subspace.name)
-            if shard is None:
-                continue
+        # Iterate the outcome's own shard set, not the static
+        # partition: rebalancing may have split shards mid-run.
+        for shard in fleet_outcome.shards.values():
             results.append(
                 SubspaceRunStats(
                     subspace=shard.name,
@@ -275,9 +297,9 @@ def run_partitioned(
                 )
             )
             if shard.model is not None and model_engine is not None:
-                blob, actions = shard.model
-                preds = model_engine.import_bytes(blob)
-                models[subspace.name] = list(zip(preds, actions))
+                frames, actions = shard.model
+                preds = model_engine.import_frames(frames)
+                models[shard.name] = list(zip(preds, actions))
     for task in tasks:
         outcome = outcomes.get(task.name)
         if outcome is None:
@@ -286,8 +308,8 @@ def run_partitioned(
         results.append(stats)
         parent.registry.merge_snapshot(snapshot)
         if model is not None and model_engine is not None:
-            blob, actions = model
-            preds = model_engine.import_bytes(blob)
+            frames, actions = model
+            preds = model_engine.import_frames(frames)
             models[task.name] = list(zip(preds, actions))
     parent.registry.gauge("parallel.workers").set(processes or 0)
     if failures:

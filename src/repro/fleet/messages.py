@@ -25,18 +25,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..dataplane.rule import Rule
 from ..dataplane.update import RuleUpdate
 from ..headerspace.fields import HeaderLayout
 from ..headerspace.match import Match
 from ..resilience.checkpoint import ModelCheckpoint
 from ..telemetry import TelemetryConfig
 
-#: One shard's shipped model: an FBW1 blob of every EC predicate plus the
-#: matching per-EC ``{device: action}`` dicts, in the same order.  Kept
-#: structurally identical to ``repro.core.parallel.ModelPayload`` (which
-#: cannot be imported here without a cycle — ``core.parallel`` builds on
-#: this package for its pool path).
-ModelPayload = Tuple[bytes, Tuple[Dict[int, object], ...]]
+#: One shard's shipped model: a chain of wire frames — a full FBW1 frame
+#: followed by FBW2 deltas (``PredicateBackend.import_frames`` folds the
+#: chain) — plus the matching per-EC ``{device: action}`` dicts, in the
+#: final table's order.  Kept structurally identical to
+#: ``repro.core.parallel.ModelPayload`` (which cannot be imported here
+#: without a cycle — ``core.parallel`` builds on this package).
+ModelPayload = Tuple[Tuple[bytes, ...], Tuple[Dict[int, object], ...]]
+
+
+@dataclass(frozen=True)
+class JournalDelta:
+    """An installed-rule journal diff against the last shipped journal.
+
+    Per-device entries: ``(device, "append", rules)`` extends the held
+    rule list, ``(device, "replace", rules)`` overwrites it (covers
+    deletions and reorders).  ``base_rule_count`` is the total rule
+    count of the journal this delta was computed against — a cheap
+    consistency check before applying (the strong check is the restore
+    path's EC-union validation against the frame chain).
+    """
+
+    base_rule_count: int
+    entries: Tuple[Tuple[int, str, Tuple[Rule, ...]], ...]
 
 
 # -- supervisor → worker ----------------------------------------------------
@@ -44,14 +62,19 @@ ModelPayload = Tuple[bytes, Tuple[Dict[int, object], ...]]
 class ShardRestore:
     """Crash-recovery payload: rebuild the shard model to ``block_id``.
 
-    ``checkpoint`` is the installed-rule journal the worker replays;
-    ``frame`` is the FSJ1 snapshot (FBW1 EC blob + applied-block-id
-    journal) the rebuilt model is validated against.
+    ``checkpoint`` is the assembled installed-rule journal the worker
+    replays; ``frames`` is the full-frame + delta chain of the shard's
+    EC table as last checkpointed (inner FBW1/FBW2 blobs, FSJ1 framing
+    stripped) the rebuilt model is validated against; ``applied_ids``
+    is the applied-block journal at that checkpoint.  For a migrated
+    shard the frames describe the *parent* shard's table — validation
+    intersects with the restored model's (smaller) universe.
     """
 
     block_id: int
     checkpoint: ModelCheckpoint
-    frame: bytes
+    frames: Tuple[bytes, ...]
+    applied_ids: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -77,6 +100,7 @@ class WorkerSpec:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     heartbeat_interval: float = 0.1
     checkpoint_every: int = 4
+    compact_every: int = 4
     backend: str = "bdd"
 
 
@@ -104,6 +128,46 @@ class Stop:
     """Drain request: report every shard, then say goodbye and exit."""
 
     collect_models: bool = False
+
+
+@dataclass(frozen=True)
+class ShardSplit:
+    """Rebalance, source side: restrict a live shard to ``match``.
+
+    Sent at a block boundary (no inflight block for the shard); FIFO
+    ordering guarantees the worker restricts before any post-split
+    block arrives.  Idempotent on redelivery — restricting to the same
+    half twice is a no-op — and safe to lose: a worker that dies first
+    is respawned with the already-updated subspace match.
+    """
+
+    shard: str
+    match: Match
+
+
+@dataclass(frozen=True)
+class AddShard:
+    """Rebalance, target side: adopt a migrated shard mid-flight.
+
+    ``spec.restore`` carries the parent shard's checkpoint chain; the
+    adopting worker rebuilds the model restricted to the new shard's
+    half-subspace and answers with :class:`ShardAdopted`.  Until that
+    (or a respawn ``Hello`` restoring the shard), the supervisor holds
+    the shard's blocks back.
+    """
+
+    spec: ShardSpec
+
+
+@dataclass(frozen=True)
+class ShardAdopted:
+    """Worker → supervisor: outcome of an :class:`AddShard` adoption."""
+
+    worker_id: int
+    generation: int
+    shard: str
+    ok: bool
+    error: str = ""
 
 
 # -- worker → supervisor ----------------------------------------------------
@@ -157,14 +221,24 @@ class BlockError:
 
 @dataclass(frozen=True)
 class ShardCheckpoint:
-    """Periodic durability point: rule journal + FSJ1 snapshot frame."""
+    """Periodic durability point: rule journal + FSJ1 snapshot frame.
+
+    ``frame`` is FSJ1-framed; its inner blob is a full FBW1 table on
+    compaction checkpoints (``checkpoint`` set, ``journal_delta`` None)
+    and an FBW2 delta against the previous checkpoint's frame bytes on
+    the ones in between (``journal_delta`` set, ``checkpoint`` None).
+    The supervisor assembles deltas into its held recovery chain; a
+    delta that fails fingerprint or journal validation is rejected and
+    the chain self-heals at the next compaction.
+    """
 
     worker_id: int
     generation: int
     shard: str
     block_id: int
-    checkpoint: ModelCheckpoint
+    checkpoint: Optional[ModelCheckpoint]
     frame: bytes
+    journal_delta: Optional[JournalDelta] = None
 
 
 @dataclass(frozen=True)

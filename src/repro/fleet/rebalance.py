@@ -1,0 +1,114 @@
+"""Skew-aware shard rebalancing policy for the fleet supervisor.
+
+Static shard assignment makes one hot shard bound the whole run — the
+common case under skewed churn (preferential-attachment ISP topologies
+concentrate rules on few devices, datacenter storms concentrate on few
+pods).  The supervisor tracks an EWMA of block service time per shard
+from its ack telemetry; when one shard's load — EWMA × backlog — runs
+hot against the fleet for long enough, the :class:`RebalancePolicy`
+authorises a **split**: the hot shard's subspace match divides along
+one more prefix bit, the hot worker's model restricts to one half in
+place, and the other half migrates to the least-loaded worker as the
+shard's existing checkpoint chain (delta frames) plus a replayed block
+tail.  Everything happens at a block boundary and every message stays
+generation-tagged, so in-flight acks cannot race the migration.
+
+:func:`split_match` is the subspace divider: it extends a prefix match
+by one bit, which is exactly how ``dst_prefix_partition`` shards were
+built in the first place — split shards stay the same *kind* of shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..headerspace.fields import HeaderLayout
+from ..headerspace.match import Match, Pattern
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When and how often the supervisor may split a hot shard.
+
+    ``ewma_alpha`` weights the per-ack service-time average; a shard
+    becomes a split candidate once it has ``min_samples`` acks and at
+    least ``min_backlog`` queued-or-inflight blocks, and its load score
+    (EWMA × backlog) exceeds ``skew_ratio`` times the fleet's median
+    score.  ``cooldown_seconds`` spaces consecutive splits so one
+    migration settles before the next is considered; ``max_splits``
+    bounds total topology growth per fleet lifetime.
+    """
+
+    ewma_alpha: float = 0.3
+    min_samples: int = 4
+    min_backlog: int = 2
+    skew_ratio: float = 3.0
+    cooldown_seconds: float = 0.5
+    max_splits: int = 4
+
+    @classmethod
+    def aggressive(cls, max_splits: int = 2) -> "RebalancePolicy":
+        """A hair-trigger policy for tests and chaos drills: split as
+        soon as any shard has one ack and one queued block."""
+        return cls(
+            ewma_alpha=0.5,
+            min_samples=1,
+            min_backlog=1,
+            skew_ratio=1.0,
+            cooldown_seconds=0.0,
+            max_splits=max_splits,
+        )
+
+
+def _prefix_length(mask: int, width: int) -> Optional[int]:
+    """The prefix length of ``mask`` if it is a prefix mask, else None."""
+    if mask == 0:
+        return 0
+    for length in range(1, width + 1):
+        if mask == ((1 << length) - 1) << (width - length):
+            return length
+    return None
+
+
+def split_match(
+    match: Match, layout: HeaderLayout
+) -> Optional[Tuple[Match, Match]]:
+    """Split a subspace match into two disjoint halves, or None.
+
+    A match is splittable on a field whose pattern is a single prefix
+    ternary shorter than the field width (wildcard counts as length 0);
+    the halves extend that prefix by one bit each.  Constrained fields
+    are tried first, then unconstrained ones, in layout order.
+    """
+    names = [f.name for f in layout.fields]
+    ordered = [n for n in names if match.pattern(n) is not None] + [
+        n for n in names if match.pattern(n) is None
+    ]
+    for name in ordered:
+        width = layout.field(name).width
+        pattern = match.pattern(name)
+        if pattern is None:
+            value, length = 0, 0
+        else:
+            if len(pattern.ternaries) != 1:
+                continue
+            value, mask = pattern.ternaries[0]
+            plen = _prefix_length(mask, width)
+            if plen is None:
+                continue
+            length = plen
+        if length >= width:
+            continue
+        child = length + 1
+        low = dict(match.patterns)
+        low[name] = Pattern.prefix(value, child, width)
+        high = dict(match.patterns)
+        high[name] = Pattern.prefix(
+            value | (1 << (width - child)), child, width
+        )
+        return Match(low), Match(high)
+    return None
+
+
+__all__ = ["RebalancePolicy", "split_match"]

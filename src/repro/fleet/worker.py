@@ -11,15 +11,30 @@ Robustness properties this file is responsible for:
 
 * **Idempotent redelivery** — each shard keeps a watermark of the last
   applied block id; a redelivered block (ack timeout, respawn tail
-  replay) is acked as ``skipped`` without touching the model.
+  replay) is acked as ``skipped`` without touching the model.  Skipped
+  acks never count toward the checkpoint cadence: ``checkpoint_every``
+  counts *applied* blocks only, so a redelivery storm cannot trigger
+  redundant snapshots.
+* **Delta checkpoints** — a shard ships a full FBW1 table only every
+  ``compact_every``-th checkpoint; the ones between are FBW2 deltas
+  against the previously shipped frame's bytes, paired with a
+  :class:`~repro.fleet.messages.JournalDelta` of the rule journal.
+  ``compact_every=1`` reproduces the historical full-frame behaviour.
 * **Crash recovery** — on spawn, a shard with a
   :class:`~repro.fleet.messages.ShardRestore` payload rebuilds its
   model from the :class:`~repro.resilience.ModelCheckpoint` rule
-  journal and validates the result against the FSJ1 frame's FBW1 EC
-  blob (union of the snapshotted ECs must equal the union of the
-  rebuilt ones).  A shard that fails validation is reported in
+  journal and validates the result against the restore's frame chain:
+  the chain's EC union, intersected with the restored model's universe,
+  must equal the union of the rebuilt ECs.  (The intersection is what
+  lets a *migrated* shard validate against its parent's chain.)  A
+  shard that fails validation is reported in
   :class:`~repro.fleet.messages.Hello` so the supervisor degrades it
   instead of serving answers from an unverified model.
+* **Rebalancing** — :class:`~repro.fleet.messages.ShardSplit` restricts
+  a live shard's model to half its subspace in place;
+  :class:`~repro.fleet.messages.AddShard` adopts the other half
+  mid-flight from the parent's checkpoint chain, answered with
+  :class:`~repro.fleet.messages.ShardAdopted`.
 * **Liveness** — heartbeats come from a daemon thread, so they keep
   flowing while the main thread is busy applying a large block; only a
   dead process goes silent.  (A *wedged* main thread — the ``hang``
@@ -35,23 +50,34 @@ process on exactly one delivery no matter how the retry lands.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..bdd.wire import WireFormatError, unframe_shard_snapshot
+from ..bdd.wire import (
+    WireFormatError,
+    fingerprint_blob,
+    frame_shard_snapshot,
+)
 from ..core.model_manager import ModelWriter
+from ..dataplane.rule import Rule
+from ..resilience.checkpoint import ModelCheckpoint
 from ..resilience.supervisor import WorkerFaultSpec
 from ..telemetry import Telemetry
 from .messages import (
+    AddShard,
     Block,
     BlockAck,
     BlockError,
     Hello,
     Heartbeat,
+    JournalDelta,
+    ShardAdopted,
     ShardCheckpoint,
     ShardDone,
     ShardSpec,
+    ShardSplit,
     Stop,
     WorkerBye,
     WorkerSpec,
@@ -73,16 +99,86 @@ class _ShardState:
         self.applied_since_checkpoint = 0
         self.updates_applied = 0
         self.seconds = 0.0
+        # Delta-chain state: the EC table exactly as last shipped (live
+        # handles — they double as GC roots), the fingerprint of the
+        # last shipped frame's *bytes*, and the rule journal it paired
+        # with.  The supervisor holds the matching chain; both sides
+        # advance in lockstep, one frame per checkpoint.
+        self.wire_base: List = []
+        self.wire_fp: Optional[int] = None
+        self.journal_base: Dict[int, Tuple[Rule, ...]] = {}
+        self.checkpoints_since_compact = 0
 
-    def snapshot_frame(self) -> bytes:
-        """FSJ1 frame: current EC table blob + applied-block journal."""
-        from ..bdd.wire import frame_shard_snapshot
 
-        entries = self.manager.model.entries()
-        blob = self.manager.engine.export_bytes(
-            [pred for pred, _ in entries]
+def _journal_delta(
+    base: Dict[int, Tuple[Rule, ...]], current: ModelCheckpoint
+) -> JournalDelta:
+    """Diff the current rule journal against the last shipped one."""
+    entries: List[Tuple[int, str, Tuple[Rule, ...]]] = []
+    seen = set()
+    for device, rules in current.rules:
+        seen.add(device)
+        held = base.get(device, ())
+        if held == rules:
+            continue
+        if len(rules) > len(held) and rules[: len(held)] == held:
+            entries.append((device, "append", rules[len(held) :]))
+        else:
+            entries.append((device, "replace", rules))
+    for device, held in base.items():
+        if device not in seen and held:
+            entries.append((device, "replace", ()))
+    return JournalDelta(
+        base_rule_count=sum(len(r) for r in base.values()),
+        entries=tuple(entries),
+    )
+
+
+def _build_checkpoint(
+    spec: WorkerSpec, state: _ShardState
+) -> ShardCheckpoint:
+    """Assemble one checkpoint message and advance the shard's chain.
+
+    Every ``compact_every``-th checkpoint (and the first) is a **full**
+    one: FBW1 table + complete rule journal, resetting the chain.  The
+    rest ship an FBW2 delta against the previous frame's bytes plus a
+    :class:`JournalDelta`.  The delta exporter itself falls back to a
+    full FBW1 frame whenever that is no larger — the chain state still
+    advances to whatever bytes were actually shipped.
+    """
+    manager = state.manager
+    engine = manager.engine
+    preds = [pred for pred, _ in manager.model.entries()]
+    checkpoint = manager.checkpoint()
+    compact = (
+        spec.compact_every <= 1
+        or state.wire_fp is None
+        or state.checkpoints_since_compact + 1 >= spec.compact_every
+    )
+    if compact:
+        blob = engine.export_bytes(preds)
+        shipped_checkpoint: Optional[ModelCheckpoint] = checkpoint
+        journal_delta = None
+        state.checkpoints_since_compact = 0
+    else:
+        blob = engine.export_delta_bytes(
+            preds, state.wire_base, state.wire_fp
         )
-        return frame_shard_snapshot(blob, self.applied_ids)
+        shipped_checkpoint = None
+        journal_delta = _journal_delta(state.journal_base, checkpoint)
+        state.checkpoints_since_compact += 1
+    state.wire_base = preds
+    state.wire_fp = fingerprint_blob(blob)
+    state.journal_base = dict(checkpoint.rules)
+    return ShardCheckpoint(
+        worker_id=spec.worker_id,
+        generation=spec.generation,
+        shard=state.spec.name,
+        block_id=state.last_applied,
+        checkpoint=shipped_checkpoint,
+        frame=frame_shard_snapshot(blob, state.applied_ids),
+        journal_delta=journal_delta,
+    )
 
 
 def _restore_shard(state: _ShardState) -> bool:
@@ -91,27 +187,41 @@ def _restore_shard(state: _ShardState) -> bool:
     if restore is None:
         return True
     try:
-        blob, journal = unframe_shard_snapshot(restore.frame)
         manager = state.manager
+        engine = manager.engine
         manager.rollback(restore.checkpoint)
-        # Validate the rebuild against the snapshotted EC table: the
-        # union of the frame's ECs must be exactly the union of the
-        # rebuilt ones.  (Per-EC granularity can differ legitimately —
-        # EC identity depends on apply history — but covered headerspace
-        # per shard cannot.)
-        snapshot_union = manager.engine.disj_many(
-            manager.engine.import_bytes(blob)
+        # Validate the rebuild against the checkpointed EC table: the
+        # union of the frame chain's ECs, cut down to this model's
+        # universe, must be exactly the union of the rebuilt ones.
+        # (Per-EC granularity can differ legitimately — EC identity
+        # depends on apply history — but covered headerspace cannot.
+        # The universe intersection makes the same check work for a
+        # migrated shard, whose chain describes the parent's table.)
+        preds = engine.import_frames(list(restore.frames))
+        snapshot_union = (
+            engine.disj_many(preds) if preds else engine.false
         )
-        rebuilt_union = manager.engine.disj_many(
+        rebuilt_union = engine.disj_many(
             pred for pred, _ in manager.model.entries()
         )
-        if snapshot_union != rebuilt_union:
+        if (snapshot_union & manager.model.universe) != rebuilt_union:
             raise WireFormatError("restored EC union diverges from snapshot")
     except Exception:  # noqa: BLE001 - any restore fault means degrade
         return False
-    state.applied_ids = list(journal)
-    state.last_applied = journal[-1] if journal else 0
+    state.applied_ids = list(restore.applied_ids)
+    state.last_applied = (
+        state.applied_ids[-1] if state.applied_ids else restore.block_id
+    )
     state.updates_applied = restore.checkpoint.rule_count()
+    # The wire base after a restore is the table *as imported from the
+    # frames* — the table the supervisor holds — never the rebuilt
+    # entries: exporter and importer must agree on the base list for
+    # the next delta's KEEP slots to resolve correctly.
+    state.wire_base = preds
+    state.wire_fp = (
+        fingerprint_blob(restore.frames[-1]) if restore.frames else None
+    )
+    state.journal_base = dict(restore.checkpoint.rules)
     return True
 
 
@@ -137,6 +247,17 @@ def _apply_block(
         seconds=elapsed,
         ecs=state.manager.num_ecs(),
     )
+
+
+def _make_shard(spec: WorkerSpec, shard_spec: ShardSpec) -> _ShardState:
+    manager = ModelWriter(
+        list(spec.devices),
+        spec.layout,
+        subspace_match=shard_spec.subspace_match,
+        telemetry=Telemetry.from_config(spec.telemetry),
+        backend=spec.backend,
+    )
+    return _ShardState(shard_spec, manager)
 
 
 def worker_main(spec: WorkerSpec, inbox, outbox) -> None:
@@ -178,8 +299,6 @@ def worker_main(spec: WorkerSpec, inbox, outbox) -> None:
     beats.start()
 
     def _stamp(message):
-        import dataclasses
-
         return dataclasses.replace(
             message, worker_id=spec.worker_id, generation=spec.generation
         )
@@ -190,13 +309,52 @@ def worker_main(spec: WorkerSpec, inbox, outbox) -> None:
             if isinstance(message, Stop):
                 _drain(spec, shards, telemetry, outbox, message)
                 return
+            if isinstance(message, ShardSplit):
+                state = shards.get(message.shard)
+                if state is not None:
+                    # Idempotent: restricting to the same half twice is
+                    # a no-op, so a redelivered split is harmless.
+                    state.manager.restrict_subspace(message.match)
+                    state.spec = dataclasses.replace(
+                        state.spec, subspace_match=message.match
+                    )
+                continue
+            if isinstance(message, AddShard):
+                shard_spec = message.spec
+                ok, error = True, ""
+                if shard_spec.name not in shards:
+                    manager = ModelWriter(
+                        list(spec.devices),
+                        spec.layout,
+                        subspace_match=shard_spec.subspace_match,
+                        telemetry=telemetry,
+                        backend=spec.backend,
+                    )
+                    state = _ShardState(shard_spec, manager)
+                    if _restore_shard(state):
+                        shards[shard_spec.name] = state
+                    else:
+                        ok = False
+                        error = "migrated-shard restore failed validation"
+                outbox.put(
+                    ShardAdopted(
+                        worker_id=spec.worker_id,
+                        generation=spec.generation,
+                        shard=shard_spec.name,
+                        ok=ok,
+                        error=error,
+                    )
+                )
+                continue
             if not isinstance(message, Block):  # pragma: no cover
                 continue
             state = shards.get(message.shard)
             if state is None:  # restore-failed shard: supervisor races
                 continue
             if message.block_id <= state.last_applied:
-                # Idempotent redelivery: already applied, never reapply.
+                # Idempotent redelivery: already applied, never reapply
+                # — and never advance the checkpoint cadence, which
+                # counts applied blocks only.
                 outbox.put(
                     _stamp(
                         BlockAck(
@@ -245,16 +403,7 @@ def worker_main(spec: WorkerSpec, inbox, outbox) -> None:
                 and state.applied_since_checkpoint >= spec.checkpoint_every
             ):
                 state.applied_since_checkpoint = 0
-                outbox.put(
-                    ShardCheckpoint(
-                        worker_id=spec.worker_id,
-                        generation=spec.generation,
-                        shard=state.spec.name,
-                        block_id=state.last_applied,
-                        checkpoint=state.manager.checkpoint(),
-                        frame=state.snapshot_frame(),
-                    )
-                )
+                outbox.put(_build_checkpoint(spec, state))
     finally:
         stop_beats.set()
 
@@ -270,14 +419,22 @@ def _drain(
     for state in shards.values():
         model = None
         if stop.collect_models:
+            engine = state.manager.engine
             entries = state.manager.model.entries()
-            blob = state.manager.engine.export_bytes(
-                [pred for pred, _ in entries]
-            )
+            preds = [pred for pred, _ in entries]
+            if state.wire_fp is not None:
+                # Collection rides the checkpoint chain: ship a delta
+                # against the last checkpointed epoch; the supervisor
+                # prepends its held chain.
+                frame = engine.export_delta_bytes(
+                    preds, state.wire_base, state.wire_fp
+                )
+            else:
+                frame = engine.export_bytes(preds)
             actions = tuple(
                 state.manager.store.to_dict(vec) for _, vec in entries
             )
-            model = (blob, actions)
+            model = ((frame,), actions)
         outbox.put(
             ShardDone(
                 worker_id=spec.worker_id,

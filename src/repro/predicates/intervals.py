@@ -28,7 +28,7 @@ workloads to the BDD backend instead.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import HeaderSpaceError
 from ..headerspace.intervals import IntervalSet, ternary_to_intervals
@@ -478,6 +478,17 @@ class IntervalBackend:
         from ..bdd.engine import BDD
 
         scratch = BDD(self._num_vars)
+        refs = self._compile_to_scratch(scratch, preds)
+        return wire.export_blob(scratch, refs)
+
+    def _compile_to_scratch(self, scratch, preds) -> List[int]:
+        """Compile interval predicates into refs of a scratch BDD.
+
+        Hash-consing in the scratch store makes equal interval sets
+        compile to identical refs, which is what lets the delta writer
+        detect unchanged roots across a (base, current) pair compiled
+        into one scratch.
+        """
         refs: List[int] = []
         for p in preds:
             self._check(p, p)
@@ -494,7 +505,24 @@ class IntervalBackend:
                     ]
                     node = scratch.apply_or(node, scratch.cube(literals))
             refs.append(node)
-        return wire.export_blob(scratch, refs)
+        return refs
+
+    def _ref_to_intervals(self, scratch, ref: int) -> IntervalPredicate:
+        """Convert one scratch-BDD ref back into an interval predicate."""
+        n = self._num_vars
+        intervals: List[Tuple[int, int]] = []
+        for cube in scratch.iter_cubes(ref):
+            value = 0
+            mask = 0
+            for var, bit in cube.items():
+                weight = 1 << (n - 1 - var)
+                mask |= weight
+                if bit:
+                    value |= weight
+            intervals.extend(
+                ternary_to_intervals(value, mask, n, self.max_intervals)
+            )
+        return self.from_intervals(IntervalSet(intervals))
 
     def import_bytes(self, data: bytes) -> List[IntervalPredicate]:
         """Rebuild an FBW1 blob's predicates as interval sets."""
@@ -503,23 +531,79 @@ class IntervalBackend:
 
         scratch = BDD(self._num_vars)
         refs = wire.import_blob(scratch, data)
+        return [self._ref_to_intervals(scratch, ref) for ref in refs]
+
+    def export_delta_bytes(
+        self,
+        preds: Iterable[IntervalPredicate],
+        base_preds: Iterable[IntervalPredicate],
+        base_fingerprint: int,
+    ) -> bytes:
+        """Serialise ``preds`` as an FBW2 delta (or smaller full frame).
+
+        Base and current tables are compiled into *one* scratch BDD, so
+        unchanged interval sets land on identical scratch refs and the
+        delta writer keeps them as 4-byte slots.  Same contract as the
+        BDD engine's method — the receiver must accept FBW1 or FBW2.
+        """
+        from ..bdd import wire
+        from ..bdd.engine import BDD
+
+        scratch = BDD(self._num_vars)
+        base_refs = self._compile_to_scratch(scratch, base_preds)
+        refs = self._compile_to_scratch(scratch, preds)
+        full = wire.export_blob(scratch, refs)
+        delta = wire.export_delta_blob(
+            scratch, refs, base_refs, base_fingerprint
+        )
+        return delta if len(delta) < len(full) else full
+
+    def apply_delta_bytes(
+        self,
+        data: bytes,
+        base_preds: Sequence[IntervalPredicate],
+        base_fingerprint: int,
+    ) -> "Tuple[List[IntervalPredicate], List[Optional[int]]]":
+        """Rebuild a chained frame: FBW2 applied to the base, or FBW1.
+
+        Kept roots return the held base predicates directly (no cube
+        enumeration); only NEW roots round-trip through the scratch BDD.
+        """
+        from ..bdd import wire
+        from ..bdd.engine import BDD
+
+        if data[:4] == wire.MAGIC:
+            preds = self.import_bytes(data)
+            return preds, [None] * len(preds)
+        scratch = BDD(self._num_vars)
+        base_refs = self._compile_to_scratch(scratch, base_preds)
+        roots, sources = wire.import_delta_blob(
+            scratch, data, base_refs, base_fingerprint
+        )
         out: List[IntervalPredicate] = []
-        n = self._num_vars
-        for ref in refs:
-            intervals: List[Tuple[int, int]] = []
-            for cube in scratch.iter_cubes(ref):
-                value = 0
-                mask = 0
-                for var, bit in cube.items():
-                    weight = 1 << (n - 1 - var)
-                    mask |= weight
-                    if bit:
-                        value |= weight
-                intervals.extend(
-                    ternary_to_intervals(value, mask, n, self.max_intervals)
-                )
-            out.append(self.from_intervals(IntervalSet(intervals)))
-        return out
+        for ref, src in zip(roots, sources):
+            if src is not None:
+                out.append(base_preds[src])
+            else:
+                out.append(self._ref_to_intervals(scratch, ref))
+        return out, sources
+
+    def import_frames(self, frames: Sequence[bytes]) -> List[IntervalPredicate]:
+        """Fold a full-frame + delta chain into interval predicates."""
+        from ..bdd import wire
+
+        if not frames:
+            return []
+        if frames[0][:4] != wire.MAGIC:
+            raise wire.WireFormatError(
+                "frame chain must start with a full FBW1 frame"
+            )
+        preds = self.import_bytes(frames[0])
+        fp = wire.fingerprint_blob(frames[0])
+        for frame in frames[1:]:
+            preds, _ = self.apply_delta_bytes(frame, preds, fp)
+            fp = wire.fingerprint_blob(frame)
+        return preds
 
     # -- lifecycle -----------------------------------------------------
     def collect(self, extra_roots: Iterable[int] = ()) -> int:

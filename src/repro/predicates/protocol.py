@@ -51,6 +51,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Tuple,
 )
 
@@ -172,6 +173,29 @@ class PredicateBackend(Protocol):
     ) -> List[PredicateHandle]: ...
     def export_bytes(self, preds: Iterable[PredicateHandle]) -> bytes: ...
     def import_bytes(self, data: bytes) -> List[PredicateHandle]: ...
+
+    # -- delta frames (FBW2) -------------------------------------------
+    # A table shipped repeatedly is encoded against the last shipped
+    # frame: export returns FBW2 (or a smaller full FBW1 frame), apply
+    # accepts either and hard-fails on a stale base fingerprint, and
+    # import_frames folds a full+delta chain.  Fingerprints are of the
+    # base frame's *bytes* (wire.fingerprint_blob), never recomputed
+    # from engine contents.
+    def export_delta_bytes(
+        self,
+        preds: Iterable[PredicateHandle],
+        base_preds: Iterable[PredicateHandle],
+        base_fingerprint: int,
+    ) -> bytes: ...
+    def apply_delta_bytes(
+        self,
+        data: bytes,
+        base_preds: Sequence[PredicateHandle],
+        base_fingerprint: int,
+    ) -> Tuple[List[PredicateHandle], List[Optional[int]]]: ...
+    def import_frames(
+        self, frames: Sequence[bytes]
+    ) -> List[PredicateHandle]: ...
 
     # -- lifecycle -----------------------------------------------------
     def collect(self, extra_roots: Iterable[int] = ()) -> int: ...

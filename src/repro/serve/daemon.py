@@ -44,7 +44,7 @@ from ..network.topology import Topology
 from ..telemetry import Telemetry
 from .cache import ResultCache
 from .queries import Query, QueryAnswer
-from .snapshots import SnapshotStore, isolate_view
+from .snapshots import DeltaIsolator, SnapshotStore, isolate_view
 
 _STOP = object()
 
@@ -82,8 +82,13 @@ class ServeDaemon:
     isolation:
         ``"copy"`` (default) re-hosts every published snapshot in its
         own BDD engine via the FBW1 wire path — readers never touch the
-        writer's engine.  ``"shared"`` publishes views on the writer's
-        engine and serialises queries with flushes on one lock.
+        writer's engine.  ``"copy-delta"`` keeps the same isolation but
+        ships each publish as an FBW2 delta frame against the previous
+        epoch into one long-lived read engine (cost tracks the update
+        batch, not the model — see
+        :class:`~repro.serve.snapshots.DeltaIsolator`).  ``"shared"``
+        publishes views on the writer's engine and serialises queries
+        with flushes on one lock.
     queue_size:
         Ingest backpressure bound: producers hitting a full queue get
         :class:`~repro.errors.ServeSaturatedError`.
@@ -107,7 +112,7 @@ class ServeDaemon:
         query_deadline: Optional[float] = None,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
-        if isolation not in ("copy", "shared"):
+        if isolation not in ("copy", "copy-delta", "shared"):
             raise ValueError(f"unknown isolation mode {isolation!r}")
         if query_deadline is not None and query_deadline <= 0:
             raise ValueError("query_deadline must be positive seconds")
@@ -138,6 +143,11 @@ class ServeDaemon:
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
         self._workers = workers
         self._model_lock = threading.RLock()  # writer vs shared-mode readers
+        # copy-delta: all snapshots live in the isolator's one read
+        # engine, so they share one eval lock (BDD apply mutates
+        # engine-internal tables) — but never the writer's lock.
+        self._isolator = DeltaIsolator() if isolation == "copy-delta" else None
+        self._delta_lock = threading.RLock()
         self._state_lock = threading.Lock()
         self._applied = 0  # serve epoch = number of applied batches
         self._started = False
@@ -269,6 +279,15 @@ class ServeDaemon:
         with self.telemetry.span("serve.snapshot.capture"):
             if self.isolation == "copy":
                 self._snapshots.publish(self._applied, isolate_view(view))
+            elif self.isolation == "copy-delta":
+                with self._delta_lock:  # import/collect vs live queries
+                    isolated = self._isolator.isolate(view)
+                self.telemetry.count(
+                    "serve.snapshot.delta.bytes", self._isolator.last_blob_size
+                )
+                self._snapshots.publish(
+                    self._applied, isolated, lock=self._delta_lock
+                )
             else:
                 # Shared engine: every reader serialises with the writer.
                 self._snapshots.publish(

@@ -235,6 +235,11 @@ def run_load(
 ) -> LoadResult:
     """Run the storm-vs-clients race, then prove every answer correct.
 
+    ``isolation`` is passed straight to :class:`ServeDaemon` — any of
+    ``"copy"``, ``"copy-delta"`` or ``"shared"``; the oracle check is
+    identical in all three, which is what makes this harness the
+    correctness gate for the delta-publish path.
+
     ``on_start`` is called with the started daemon before any load is
     generated — the CLI uses it to install SIGTERM/SIGINT handlers so
     an interrupted run drains instead of dying mid-batch.  A daemon

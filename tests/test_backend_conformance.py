@@ -284,6 +284,53 @@ def test_import_across_backends(pairing):
         assert got == orig and got.node == orig.node
 
 
+def test_delta_round_trip_within_backend(engine):
+    from repro.bdd.wire import DELTA_MAGIC, fingerprint_blob
+
+    rng = random.Random(41)
+    preds = [_random_pred(engine, rng) for _ in range(8)]
+    frame = engine.export_bytes(preds)
+    base = engine.import_bytes(frame)
+    fp = fingerprint_blob(frame)
+    changed = list(preds)
+    changed[2] = ~changed[2]
+    delta = engine.export_delta_bytes(changed, preds, fp)
+    assert delta[:4] == DELTA_MAGIC
+    applied, sources = engine.apply_delta_bytes(delta, base, fp)
+    assert len(applied) == len(changed)
+    assert any(s is None for s in sources)  # something was rebuilt
+    for orig, got in zip(changed, applied):
+        assert _headers_of(got) == _headers_of(orig)
+
+
+def test_delta_chain_across_backends(pairing):
+    """A full-frame + delta chain exported by one backend folds into any
+    other backend with identical semantics — the fleet contract: workers
+    and supervisor need not share a predicate representation."""
+    from repro.bdd.wire import fingerprint_blob
+
+    src, dst = pairing
+    rng = random.Random(43)
+    preds = [_random_pred(src, rng) for _ in range(8)]
+    frames = [src.export_bytes(preds)]
+    fp = fingerprint_blob(frames[0])
+    for i in range(3):  # three delta epochs, one mutation each
+        nxt = list(preds)
+        nxt[i] = nxt[i] | _random_pred(src, rng)
+        frame = src.export_delta_bytes(nxt, preds, fp)
+        frames.append(frame)
+        preds, fp = nxt, fingerprint_blob(frame)
+    folded = dst.import_frames(frames)
+    assert len(folded) == len(preds)
+    for orig, got in zip(preds, folded):
+        assert got.engine is dst
+        assert _headers_of(got) == _headers_of(orig)
+    # and the fold equals a one-shot full import of the final table
+    direct = dst.import_predicates(preds)
+    for a, b in zip(folded, direct):
+        assert a == b
+
+
 def test_import_widens_narrower_sources(pairing):
     """A predicate from a narrower header space imports as a prefix:
     the missing low-order variables become don't-cares."""

@@ -236,6 +236,212 @@ class TestGracefulDegradation:
         assert failure.recovered
 
 
+def skewed_workload(hot: int = 16, cold: int = 3):
+    """A storm where ~85% of the updates land in sub0 (the hot half)."""
+    topo = ring(4)
+    partition = SubspacePartition.dst_prefix_partition(
+        LAYOUT, [(0x00, 1), (0x20, 1)]
+    )
+    updates = []
+    for i in range(hot):
+        match = Match.dst_prefix((i % 16) << 1, 5, LAYOUT)  # top bit 0
+        updates.append(insert(i % 4, Rule(1 + i, match, 1)))
+    for i in range(cold):
+        match = Match.dst_prefix(0x20 | ((i % 16) << 1), 5, LAYOUT)
+        updates.append(insert(i % 4, Rule(1 + i, match, 2)))
+    return topo, partition, updates
+
+
+def canonical_models(models):
+    """Per base-shard {sorted action map -> headers} — split-proof.
+
+    A rebalanced run reports ``sub0`` and ``sub0.1`` where the static
+    run reports ``sub0``; aggregating EC header counts by action map
+    under the base name compares the two shapes exactly."""
+    out = {}
+    for name, pairs in models.items():
+        base = out.setdefault(name.split(".")[0], {})
+        for pred, actions in pairs:
+            key = tuple(sorted(actions.items()))
+            base[key] = base.get(key, 0) + pred.sat_count()
+    return out
+
+
+class TestDeltaCheckpoints:
+    def test_fault_free_delta_run_ships_bytes_and_matches(self):
+        """compact_every=3: most checkpoints ship as FBW2 deltas; the
+        byte counters tick and the result still matches sequential."""
+        topo, partition, updates = setup_workload(per_shard=6)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2, compact_every=3,
+            collect_models=True,
+        )
+        assert result.ok and not result.failures
+        assert_stats_match(result, clean)
+        reg = result.registry
+        assert reg.value("fleet.checkpoints") > 0
+        assert reg.value("fleet.checkpoints.rejected") == 0
+        assert reg.value("fleet.checkpoint.bytes") > 0
+        assert reg.value("fleet.ship.bytes") > 0
+
+    def test_compact_every_one_is_the_legacy_full_frame_path(self):
+        topo, partition, updates = setup_workload(per_shard=4)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2, compact_every=1,
+        )
+        assert result.ok and not result.failures
+        assert_stats_match(result, clean)
+        assert result.registry.value("fleet.checkpoints.rejected") == 0
+
+    def test_kill_recovers_through_a_delta_chain(self):
+        """The respawn restore crosses a full frame plus FBW2 deltas
+        (compact_every=3 with the kill after four checkpointed blocks),
+        then replays the journal tail."""
+        topo, partition, updates = setup_workload(per_shard=8)
+        clean = run_clean(topo, partition, updates)
+        result = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=2, block_size=1, checkpoint_every=2, compact_every=3,
+            retry=FAST, faults={"sub0": "kill@1#5"},
+        )
+        assert result.ok
+        assert_stats_match(result, clean)
+        reg = result.registry
+        assert reg.value("fleet.workers.lost") == 1
+        assert reg.value("fleet.respawns") == 1
+        assert reg.value("fleet.checkpoints.rejected") == 0
+        failure = result.failures[0]
+        assert failure.subspace == "sub0" and failure.recovered
+
+    def test_deduped_acks_do_not_advance_checkpoint_cadence(self):
+        """Only *applied* blocks count toward ``checkpoint_every``.
+
+        Drives the worker loop in-thread with duplicate deliveries
+        interleaved between fresh blocks: the duplicates must come back
+        as ``skipped`` acks and must NOT shift the checkpoint cadence —
+        with ``checkpoint_every=2`` and four applied blocks, exactly two
+        checkpoints fire, at watermarks 2 and 4, no matter how many
+        redeliveries arrive in between."""
+        import queue
+        import threading
+
+        from repro.fleet.messages import (
+            Block,
+            BlockAck,
+            ShardCheckpoint,
+            ShardSpec,
+            Stop,
+            WorkerBye,
+            WorkerSpec,
+        )
+        from repro.fleet.worker import worker_main
+
+        topo, partition, updates = setup_workload(per_shard=4)
+        sub0 = [
+            u for u in updates
+            if (partition.route_updates([u]).get(0) or [])
+        ]
+        assert len(sub0) >= 4
+        spec = WorkerSpec(
+            worker_id=0, generation=0,
+            devices=tuple(topo.switches()), layout=LAYOUT,
+            shards=(ShardSpec(0, "sub0", partition.subspaces[0].match),),
+            heartbeat_interval=30.0, checkpoint_every=2, compact_every=3,
+        )
+        inbox, outbox = queue.Queue(), queue.Queue()
+        thread = threading.Thread(
+            target=worker_main, args=(spec, inbox, outbox), daemon=True
+        )
+        thread.start()
+        blocks = [
+            Block("sub0", i + 1, "test", (sub0[i],)) for i in range(4)
+        ]
+        for message in (
+            blocks[0], blocks[1],
+            blocks[1], blocks[0],  # duplicate redeliveries, mid-cadence
+            blocks[2], blocks[3],
+            Stop(),
+        ):
+            inbox.put(message)
+        acks, checkpoints = [], []
+        while True:
+            message = outbox.get(timeout=30.0)
+            if isinstance(message, BlockAck):
+                acks.append(message)
+            elif isinstance(message, ShardCheckpoint):
+                checkpoints.append(message)
+            elif isinstance(message, WorkerBye):
+                break
+        thread.join(timeout=30.0)
+        assert [a.skipped for a in acks] == [
+            False, False, True, True, False, False
+        ]
+        assert [c.block_id for c in checkpoints] == [2, 4]
+
+
+class TestRebalancing:
+    def _storm(self, migration_kill=None, max_splits=1):
+        from repro.fleet import FleetSupervisor, RebalancePolicy
+
+        topo, partition, updates = skewed_workload()
+        seq = run_partitioned(
+            topo.switches(), LAYOUT, partition, updates,
+            processes=None, collect_models=True,
+        )
+        fleet = FleetSupervisor(
+            topo.switches(), LAYOUT, partition,
+            processes=2, block_size=1, checkpoint_every=2, compact_every=3,
+            rebalance=RebalancePolicy.aggressive(max_splits=max_splits),
+            chaos_migration_kill=migration_kill,
+            retry=FAST,
+        )
+        try:
+            fleet.submit(updates)
+            outcome = fleet.finish(collect_models=True, timeout=120.0)
+        finally:
+            fleet.close()
+        return seq, outcome, fleet.parent.registry
+
+    def _models_of(self, outcome):
+        from repro.bdd.predicate import PredicateEngine
+
+        engine = PredicateEngine(LAYOUT.total_bits)
+        models = {}
+        for name, shard in outcome.shards.items():
+            frames, actions = shard.model
+            models[name] = list(zip(engine.import_frames(frames), actions))
+        return models
+
+    def test_hot_shard_splits_and_matches_sequential(self):
+        seq, outcome, reg = self._storm()
+        assert outcome.ok, outcome.failures
+        assert reg.value("fleet.rebalance.splits") == 1
+        assert reg.value("fleet.rebalance.migrated_bytes") > 0
+        assert "sub0.1" in outcome.shards  # the hot half was divided
+        assert canonical_models(self._models_of(outcome)) == canonical_models(
+            seq.models
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("side", ["source", "target"])
+    def test_kill_mid_migration_converges(self, side):
+        """The migration's source (restricted in place) or target
+        (adopting the moved half) dies right as the split messages go
+        out; respawn restores from the generation-tagged chain and the
+        merged result still equals the sequential run."""
+        seq, outcome, reg = self._storm(migration_kill=side)
+        assert outcome.ok, (side, outcome.failures)
+        assert reg.value("fleet.rebalance.splits") == 1
+        assert reg.value("fleet.workers.lost") >= 1
+        assert canonical_models(self._models_of(outcome)) == canonical_models(
+            seq.models
+        ), f"{side}-kill diverged"
+
+
 class TestChaosFleetDifftest:
     @pytest.mark.slow
     def test_storm_scenarios_converge_to_the_oracle(self):

@@ -335,7 +335,7 @@ class TestServeDaemon:
             assert result.epoch == 0
             assert result.answer == QueryAnswer(holds=False, headers=0)
 
-    @pytest.mark.parametrize("isolation", ["copy", "shared"])
+    @pytest.mark.parametrize("isolation", ["copy", "copy-delta", "shared"])
     def test_epoch_advances_per_batch(self, isolation):
         daemon, (topo, s, w, b, x) = self._daemon(isolation=isolation)
         with daemon:
@@ -346,7 +346,7 @@ class TestServeDaemon:
             assert result.epoch == 1
             assert result.answer == QueryAnswer(holds=True, headers=SPACE)
 
-    @pytest.mark.parametrize("isolation", ["copy", "shared"])
+    @pytest.mark.parametrize("isolation", ["copy", "copy-delta", "shared"])
     def test_pinned_reader_is_stable_while_writer_advances(self, isolation):
         daemon, (topo, s, w, b, x) = self._daemon(
             isolation=isolation, keep_snapshots=8
@@ -476,7 +476,7 @@ class TestServeDaemon:
 # ----------------------------------------------------------------------
 
 class TestMidStormOracle:
-    @pytest.mark.parametrize("isolation", ["copy", "shared"])
+    @pytest.mark.parametrize("isolation", ["copy", "copy-delta", "shared"])
     def test_concurrent_answers_equal_the_batch_oracle(self, isolation):
         workload = build_workload(seed=11, quick=True)
         workload.blocks = workload.blocks[:4]
